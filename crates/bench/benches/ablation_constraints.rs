@@ -1,0 +1,45 @@
+//! Criterion benchmark for the constraint-family ablation: cost of the bound
+//! LP with and without each optional constraint family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mapqn_core::bounds::BoundOptions;
+use mapqn_core::templates::figure5_network;
+use mapqn_core::{MarginalBoundSolver, PerformanceIndex};
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion) {
+    let network = figure5_network(10, 16.0, 0.5).unwrap();
+    let configurations = [
+        ("full", BoundOptions::default()),
+        (
+            "no_cut_balance",
+            BoundOptions {
+                include_cut_balance: false,
+                ..BoundOptions::default()
+            },
+        ),
+        (
+            "no_structural",
+            BoundOptions {
+                include_structural: false,
+                ..BoundOptions::default()
+            },
+        ),
+    ];
+    let mut group = c.benchmark_group("ablation_constraints");
+    group.sample_size(10);
+    for (name, options) in configurations {
+        group.bench_with_input(BenchmarkId::new("bound_lp", name), &options, |b, opts| {
+            b.iter(|| {
+                MarginalBoundSolver::with_options(black_box(&network), *opts)
+                    .unwrap()
+                    .bound(PerformanceIndex::Utilization(2))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

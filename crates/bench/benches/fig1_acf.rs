@@ -1,0 +1,39 @@
+//! Criterion benchmark for the Figure 1 pipeline: simulating the TPC-W
+//! system with flow tracing and estimating the flow autocorrelation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mapqn_core::templates::{tpcw_network, TpcwParameters};
+use mapqn_sim::{simulate, CacheServerParameters, FlowKind, SimulationConfig};
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    let params = TpcwParameters {
+        browsers: 48,
+        front_scv: 1.0,
+        front_acf_decay: 0.0,
+        ..TpcwParameters::default()
+    };
+    let network = tpcw_network(&params).unwrap();
+    let config = SimulationConfig {
+        total_completions: 60_000,
+        warmup_fraction: 0.1,
+        seed: 1,
+        collect_traces: true,
+        max_trace_events: 40_000,
+        cache_overrides: vec![None, Some(CacheServerParameters::default()), None],
+    };
+    let mut group = c.benchmark_group("fig1_tpcw_acf");
+    group.sample_size(10);
+    group.bench_function("simulate_with_traces_60k", |b| {
+        b.iter(|| simulate(black_box(&network), black_box(&config)).unwrap())
+    });
+    let results = simulate(&network, &config).unwrap();
+    let trace = results.trace(FlowKind::Departure(1)).unwrap().clone();
+    group.bench_function("acf_estimation_lag500", |b| {
+        b.iter(|| black_box(&trace).autocorrelation(500))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

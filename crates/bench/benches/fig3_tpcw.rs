@@ -1,0 +1,45 @@
+//! Criterion benchmark for the Figure 3 pipeline: the "no ACF" MVA model and
+//! the trace-fitting step of the "ACF" model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mapqn_core::mva::mva_exact;
+use mapqn_core::templates::{tpcw_network, TpcwParameters};
+use mapqn_sim::workload::{CacheServer, ServiceTimeSource};
+use mapqn_sim::CacheServerParameters;
+use mapqn_stochastic::{acf, fit_map2, Map2FitSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    let params = TpcwParameters {
+        browsers: 128,
+        front_scv: 1.0,
+        front_acf_decay: 0.0,
+        ..TpcwParameters::default()
+    };
+    let network = tpcw_network(&params).unwrap();
+
+    let mut group = c.benchmark_group("fig3_tpcw_match");
+    group.sample_size(10);
+    group.bench_function("mva_no_acf_model_128_browsers", |b| {
+        b.iter(|| mva_exact(black_box(&network)).unwrap())
+    });
+    group.bench_function("measure_and_fit_map2_from_trace", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut server = CacheServer::new(CacheServerParameters::default());
+            let trace: Vec<f64> = (0..20_000).map(|_| server.next_service_time(&mut rng)).collect();
+            let stats = acf::SeriesStats::from_series(&trace);
+            let acf_values = acf::autocorrelation_function(&trace, 100);
+            let decay = acf::estimate_decay_rate(&acf_values, 0.01)
+                .unwrap_or(0.0)
+                .clamp(0.0, 0.95);
+            fit_map2(&Map2FitSpec::new(stats.mean, stats.scv.max(1.0), decay)).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

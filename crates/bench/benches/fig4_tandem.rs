@@ -1,0 +1,29 @@
+//! Criterion benchmark for the Figure 4 pipeline: exact solution,
+//! decomposition and ABA bounds of the MAP/Exp tandem at a moderate
+//! population.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mapqn_core::bounds::aba_bounds;
+use mapqn_core::decomposition::solve_decomposition;
+use mapqn_core::templates::figure4_tandem;
+use mapqn_core::solve_exact;
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let network = figure4_tandem(30, 1.0, 8.0, 0.7, 1.25).unwrap();
+    let mut group = c.benchmark_group("fig4_tandem");
+    group.sample_size(10);
+    group.bench_function("exact_global_balance_n30", |b| {
+        b.iter(|| solve_exact(black_box(&network)).unwrap())
+    });
+    group.bench_function("decomposition_n30", |b| {
+        b.iter(|| solve_decomposition(black_box(&network)).unwrap())
+    });
+    group.bench_function("aba_bounds_n30", |b| {
+        b.iter(|| aba_bounds(black_box(&network)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion benchmark for the Figure 8 pipeline: LP bound computation on
+//! the case-study network at increasing populations (the scalability claim
+//! of the paper's Section 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mapqn_core::templates::figure5_network;
+use mapqn_core::{MarginalBoundSolver, PerformanceIndex};
+use std::hint::black_box;
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_lp_bounds");
+    group.sample_size(10);
+    for &n in &[5usize, 10, 20] {
+        let network = figure5_network(n, 16.0, 0.5).unwrap();
+        group.bench_with_input(BenchmarkId::new("utilization_bounds", n), &network, |b, net| {
+            b.iter(|| {
+                let solver = MarginalBoundSolver::new(black_box(net)).unwrap();
+                solver.bound(PerformanceIndex::Utilization(2)).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

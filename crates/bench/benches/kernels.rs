@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks of the computational kernels the experiments
+//! are built from: CTMC steady-state solvers, the simplex solver, MAP
+//! descriptor computations and the simulation engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mapqn_core::statespace::build_state_space;
+use mapqn_core::templates::figure5_network;
+use mapqn_lp::{LpProblem, Sense};
+use mapqn_markov::{stationary_dense_gth, stationary_iterative, SteadyStateOptions};
+use mapqn_stochastic::{fit_map2, Map2FitSpec};
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let network = figure5_network(15, 16.0, 0.5).unwrap();
+    let space = build_state_space(&network, 1_000_000).unwrap();
+
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(10);
+    group.bench_function("state_space_construction_n15", |b| {
+        b.iter(|| build_state_space(black_box(&network), 1_000_000).unwrap())
+    });
+    group.bench_function("gth_steady_state", |b| {
+        b.iter(|| stationary_dense_gth(black_box(space.ctmc())).unwrap())
+    });
+    group.bench_function("power_iteration_steady_state", |b| {
+        b.iter(|| {
+            stationary_iterative(black_box(space.ctmc()), &SteadyStateOptions::default()).unwrap()
+        })
+    });
+    group.bench_function("map2_fit", |b| {
+        b.iter(|| fit_map2(black_box(&Map2FitSpec::new(1.0, 8.0, 0.6).with_skewness(6.0))).unwrap())
+    });
+    group.bench_function("simplex_dense_200x100", |b| {
+        b.iter(|| {
+            let n = 100;
+            let m = 200;
+            let mut lp = LpProblem::new(n, Sense::Maximize);
+            let obj: Vec<(usize, f64)> = (0..n).map(|j| (j, 1.0 + (j % 5) as f64)).collect();
+            lp.set_objective(&obj);
+            for i in 0..m {
+                let terms: Vec<(usize, f64)> = (0..n)
+                    .map(|j| (j, 0.1 + (((i * 13 + j * 7) % 11) as f64) / 11.0))
+                    .collect();
+                lp.add_le(&terms, 50.0);
+            }
+            lp.solve().unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion benchmark for the Table 1 pipeline: random model generation,
+//! exact solution and response-time bounds for one model/population pair.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mapqn_core::random_models::{random_model, RandomModelSpec};
+use mapqn_core::{solve_exact, MarginalBoundSolver};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let spec = RandomModelSpec {
+        num_map_queues: 2,
+        ..RandomModelSpec::default()
+    };
+    let mut rng = StdRng::seed_from_u64(1);
+    let model = random_model(&spec, &mut rng).unwrap();
+    let network = model.network.with_population(6).unwrap();
+
+    let mut group = c.benchmark_group("table1_random_models");
+    group.sample_size(10);
+    group.bench_function("generate_model", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| random_model(black_box(&spec), &mut rng).unwrap())
+    });
+    group.bench_function("exact_reference_n6", |b| {
+        b.iter(|| solve_exact(black_box(&network)).unwrap())
+    });
+    group.bench_function("response_time_bounds_n6", |b| {
+        b.iter(|| {
+            MarginalBoundSolver::new(black_box(&network))
+                .unwrap()
+                .response_time_bounds()
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

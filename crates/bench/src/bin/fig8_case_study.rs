@@ -1,0 +1,66 @@
+//! Figure 8: case-study accuracy of the LP bounds.
+//!
+//! Reproduces the two panels of the paper's Figure 8 for the three-queue
+//! example of Figure 5 (routing p11 = 0.2, p12 = 0.7, p13 = 0.1, MAP queue 3
+//! with CV = 4 and geometric autocorrelation decay rate 0.5): utilization of
+//! the bottleneck queue 3 and system response time, exact versus the LP
+//! lower/upper bounds, as the job population grows.
+
+use mapqn_bench::{Scale, Table};
+use mapqn_core::templates::figure5_network;
+use mapqn_core::{solve_exact, MarginalBoundSolver, PerformanceIndex};
+
+fn main() {
+    let scale = Scale::from_env();
+    // CV = 4 means SCV = 16.
+    let scv = 16.0;
+    let gamma2 = 0.5;
+    let populations: Vec<usize> = scale.pick(
+        vec![5, 10, 20, 30, 40, 60],
+        vec![5, 10, 20, 40, 60, 80, 100, 120, 140, 160, 180, 200],
+    );
+
+    println!("Figure 8 reproduction: case study of the Figure 5 network");
+    println!("MAP queue 3: CV = 4 (SCV = {scv}), gamma2 = {gamma2}; routing p = (0.2, 0.7, 0.1)");
+    println!();
+
+    let mut util_table = Table::new(&["N", "exact U3", "LP lower U3", "LP upper U3", "max rel err"]);
+    let mut resp_table = Table::new(&["N", "exact R", "LP lower R", "LP upper R", "max rel err"]);
+
+    for &n in &populations {
+        let network = figure5_network(n, scv, gamma2).expect("network construction");
+        let exact = solve_exact(&network).expect("exact solution");
+        let solver = MarginalBoundSolver::new(&network).expect("bound solver");
+
+        let u3 = solver
+            .bound(PerformanceIndex::Utilization(2))
+            .expect("utilization bounds");
+        let r = solver.response_time_bounds().expect("response-time bounds");
+
+        util_table.add_row(vec![
+            n.to_string(),
+            format!("{:.6}", exact.utilization[2]),
+            format!("{:.6}", u3.lower),
+            format!("{:.6}", u3.upper),
+            format!("{:.4}", u3.max_relative_error(exact.utilization[2])),
+        ]);
+        resp_table.add_row(vec![
+            n.to_string(),
+            format!("{:.6}", exact.system_response_time),
+            format!("{:.6}", r.lower),
+            format!("{:.6}", r.upper),
+            format!("{:.4}", r.max_relative_error(exact.system_response_time)),
+        ]);
+    }
+
+    println!("(a) Bottleneck queue 3 utilization");
+    util_table.print();
+    println!();
+    println!("(b) System response time");
+    resp_table.print();
+    println!();
+    println!(
+        "Expected shape (paper, Figure 8): both bounds hug the exact curve over the whole population range"
+    );
+    println!("and converge to the exact asymptote as N grows.");
+}

@@ -1,0 +1,150 @@
+//! Table 1: maximal relative error of the response-time bounds on random
+//! three-queue models.
+//!
+//! The paper draws 10 000 random models (random routing, random MAP(2)
+//! descriptors), computes the exact response time by global balance for
+//! populations 1..100 and reports statistics of the maximal relative error
+//! of the upper (`Rmax`) and lower (`Rmin`) response-time bounds.
+//!
+//! The default (`MAPQN_SCALE=quick`) run uses fewer models and a sampled set
+//! of populations so that it finishes on a laptop; `MAPQN_SCALE=full`
+//! increases both (and the model count can be pushed further with
+//! `MAPQN_TABLE1_MODELS`). EXPERIMENTS.md records the configuration used for
+//! the committed results.
+
+use mapqn_bench::{ErrorStats, Scale, Table};
+use mapqn_core::random_models::{random_model, RandomModelSpec};
+use mapqn_core::{solve_exact, MarginalBoundSolver};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_env();
+    let num_models: usize = std::env::var("MAPQN_TABLE1_MODELS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| scale.pick(60, 10_000));
+    let populations: Vec<usize> = scale.pick(vec![1, 2, 4, 6, 8], vec![1, 2, 5, 10, 20, 40, 70, 100]);
+    let seed: u64 = std::env::var("MAPQN_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20080414);
+
+    println!("Table 1 reproduction: random three-queue MAP models");
+    println!(
+        "models = {num_models}, populations = {populations:?}, seed = {seed} (paper: 10000 models, N = 1..100)"
+    );
+    println!();
+
+    let spec = RandomModelSpec {
+        // Two MAP(2) queues and one exponential queue keeps the joint phase
+        // space at 4, which keeps the exact reference solution cheap enough
+        // to sweep many random models; the MAP descriptors are drawn exactly
+        // as in the paper.
+        num_map_queues: 2,
+        ..RandomModelSpec::default()
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut rmax_errors = Vec::with_capacity(num_models);
+    let mut rmin_errors = Vec::with_capacity(num_models);
+    let mut skipped = 0usize;
+
+    for model_index in 0..num_models {
+        let model = match random_model(&spec, &mut rng) {
+            Ok(m) => m,
+            Err(_) => {
+                skipped += 1;
+                continue;
+            }
+        };
+        // Maximal relative error over the population sweep, as in the paper.
+        let mut max_err_upper: f64 = 0.0;
+        let mut max_err_lower: f64 = 0.0;
+        let mut failed = false;
+        for &n in &populations {
+            let network = match model.network.with_population(n) {
+                Ok(net) => net,
+                Err(_) => {
+                    failed = true;
+                    break;
+                }
+            };
+            let exact = match solve_exact(&network) {
+                Ok(e) => e,
+                Err(_) => {
+                    failed = true;
+                    break;
+                }
+            };
+            let solver = match MarginalBoundSolver::new(&network) {
+                Ok(s) => s,
+                Err(_) => {
+                    failed = true;
+                    break;
+                }
+            };
+            let bounds = match solver.response_time_bounds() {
+                Ok(b) => b,
+                Err(_) => {
+                    failed = true;
+                    break;
+                }
+            };
+            let exact_r = exact.system_response_time;
+            // Rmax = N / Xmin is the upper bound, Rmin = N / Xmax the lower.
+            max_err_upper = max_err_upper.max((bounds.upper - exact_r).abs() / exact_r);
+            max_err_lower = max_err_lower.max((bounds.lower - exact_r).abs() / exact_r);
+            if !bounds.contains(exact_r, 1e-6) {
+                eprintln!(
+                    "WARNING: model {model_index}, N = {n}: exact response time {exact_r} outside [{}, {}]",
+                    bounds.lower, bounds.upper
+                );
+            }
+        }
+        if failed {
+            skipped += 1;
+            continue;
+        }
+        rmax_errors.push(max_err_upper);
+        rmin_errors.push(max_err_lower);
+    }
+
+    let rmax_stats = ErrorStats::from_sample(&rmax_errors);
+    let rmin_stats = ErrorStats::from_sample(&rmin_errors);
+
+    let mut table = Table::new(&["bound", "M", "mean", "std dev", "median", "max"]);
+    table.add_row(vec![
+        "Rmax".into(),
+        "3".into(),
+        format!("{:.3}", rmax_stats.mean),
+        format!("{:.3}", rmax_stats.std_dev),
+        format!("{:.3}", rmax_stats.median),
+        format!("{:.3}", rmax_stats.max),
+    ]);
+    table.add_row(vec![
+        "Rmin".into(),
+        "3".into(),
+        format!("{:.3}", rmin_stats.mean),
+        format!("{:.3}", rmin_stats.std_dev),
+        format!("{:.3}", rmin_stats.median),
+        format!("{:.3}", rmin_stats.max),
+    ]);
+    table.print();
+
+    let over_10pct = rmax_errors
+        .iter()
+        .zip(rmin_errors.iter())
+        .filter(|(a, b)| **a > 0.1 || **b > 0.1)
+        .count();
+    println!();
+    println!(
+        "models evaluated = {}, skipped = {skipped}, models with > 10% error in at least one bound = {} ({:.1}%)",
+        rmax_errors.len(),
+        over_10pct,
+        100.0 * over_10pct as f64 / rmax_errors.len().max(1) as f64
+    );
+    println!(
+        "Paper (Table 1): mean 0.013/0.022, std 0.021/0.020, median 0.004/0.019, max 0.141/0.126; ~1% of models above 10% error."
+    );
+}

@@ -1,0 +1,211 @@
+//! Classical asymptotic bound analysis (ABA) and balanced-job bounds.
+//!
+//! These bounds use only the service *demands* `D_k = v_k E[S_k]` and the
+//! total think time `Z` of the delay stations, so they are oblivious to the
+//! service-time distribution and to any temporal dependence — which is
+//! exactly why they bracket the true performance so loosely for
+//! autocorrelated workloads (paper, Figure 4).
+
+use super::BoundInterval;
+use crate::network::{ClosedNetwork, StationKind};
+use crate::Result;
+
+/// Asymptotic bounds on system throughput and response time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsymptoticBounds {
+    /// Bounds on the system throughput measured at the reference station 0.
+    pub throughput: BoundInterval,
+    /// Bounds on the system response time (time per pass through the
+    /// queueing stations, i.e. excluding think time).
+    pub response_time: BoundInterval,
+    /// Total service demand `D = sum_k D_k` over the queueing stations.
+    pub total_demand: f64,
+    /// Largest single-station demand `D_max`.
+    pub max_demand: f64,
+    /// Total think time `Z` contributed by delay stations.
+    pub think_time: f64,
+}
+
+/// Splits the network's demands into queueing demands and think time.
+fn demand_split(network: &ClosedNetwork) -> Result<(Vec<f64>, f64)> {
+    let demands = network.service_demands()?;
+    let mut queue_demands = Vec::new();
+    let mut think = 0.0;
+    for (k, station) in network.stations().iter().enumerate() {
+        match station.kind {
+            StationKind::Queue => queue_demands.push(demands[k]),
+            StationKind::Delay => think += demands[k],
+        }
+    }
+    Ok((queue_demands, think))
+}
+
+/// Computes the asymptotic bounds (ABA) for the network at its configured
+/// population.
+///
+/// Standard results (Lazowska et al., the paper's reference \[4\]):
+///
+/// ```text
+/// N / (N D + Z)  <=  X(N)  <=  min(1 / D_max, N / (D + Z))
+/// max(D, N D_max - Z)  <=  R(N)  <=  N D
+/// ```
+///
+/// where the visit-ratio-weighted demands refer to throughput counted at the
+/// reference station 0.
+///
+/// # Errors
+/// Propagates demand-computation failures; requires at least one queueing
+/// station.
+pub fn aba_bounds(network: &ClosedNetwork) -> Result<AsymptoticBounds> {
+    let (queue_demands, think_time) = demand_split(network)?;
+    if queue_demands.is_empty() {
+        return Err(crate::CoreError::Unsupported(
+            "ABA bounds need at least one queueing station".into(),
+        ));
+    }
+    let n = network.population() as f64;
+    let total_demand: f64 = queue_demands.iter().sum();
+    let max_demand = queue_demands.iter().fold(0.0_f64, |a, &b| a.max(b));
+
+    let x_upper = (1.0 / max_demand).min(n / (total_demand + think_time));
+    let x_lower = n / (n * total_demand + think_time);
+    let r_lower = total_demand.max(n * max_demand - think_time);
+    let r_upper = n * total_demand;
+
+    Ok(AsymptoticBounds {
+        throughput: BoundInterval::new(x_lower, x_upper),
+        response_time: BoundInterval::new(r_lower, r_upper),
+        total_demand,
+        max_demand,
+        think_time,
+    })
+}
+
+/// Balanced-job bounds (BJB), which tighten ABA by comparing against the
+/// balanced network with the same total demand.
+///
+/// ```text
+/// N / (D + Z + (N-1) D_max)  <=  X(N)  <=  N / (D + Z + (N-1) D / M)
+/// ```
+///
+/// where `M` is the number of queueing stations.
+///
+/// # Errors
+/// Propagates demand-computation failures.
+pub fn balanced_job_bounds(network: &ClosedNetwork) -> Result<BoundInterval> {
+    let (queue_demands, think_time) = demand_split(network)?;
+    if queue_demands.is_empty() {
+        return Err(crate::CoreError::Unsupported(
+            "balanced job bounds need at least one queueing station".into(),
+        ));
+    }
+    let n = network.population() as f64;
+    let m = queue_demands.len() as f64;
+    let total: f64 = queue_demands.iter().sum();
+    let max_d = queue_demands.iter().fold(0.0_f64, |a, &b| a.max(b));
+    let avg = total / m;
+
+    let x_lower = n / (total + think_time + (n - 1.0) * max_d);
+    let x_upper = n / (total + think_time + (n - 1.0) * avg);
+    // The ABA upper limit 1/Dmax still applies.
+    let x_upper = x_upper.min(1.0 / max_d);
+    Ok(BoundInterval::new(x_lower, x_upper))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::solve_exact;
+    use crate::network::Station;
+    use crate::service::Service;
+    use mapqn_linalg::DMatrix;
+
+    fn tandem(mu1: f64, mu2: f64, n: usize) -> ClosedNetwork {
+        let routing = DMatrix::from_row_slice(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        ClosedNetwork::new(
+            vec![
+                Station::queue("q1", Service::exponential(mu1).unwrap()),
+                Station::queue("q2", Service::exponential(mu2).unwrap()),
+            ],
+            routing,
+            n,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn aba_brackets_the_exact_throughput_of_an_exponential_network() {
+        for &n in &[1usize, 2, 5, 10, 20] {
+            let net = tandem(2.0, 3.0, n);
+            let exact = solve_exact(&net).unwrap();
+            let bounds = aba_bounds(&net).unwrap();
+            assert!(
+                bounds.throughput.contains(exact.system_throughput, 1e-9),
+                "N = {n}: X = {} not in [{}, {}]",
+                exact.system_throughput,
+                bounds.throughput.lower,
+                bounds.throughput.upper
+            );
+            assert!(
+                bounds
+                    .response_time
+                    .contains(exact.system_response_time, 1e-9),
+                "N = {n}: R = {} not in [{}, {}]",
+                exact.system_response_time,
+                bounds.response_time.lower,
+                bounds.response_time.upper
+            );
+        }
+    }
+
+    #[test]
+    fn aba_limits_are_reached_asymptotically() {
+        // For very large N the throughput converges to 1 / D_max.
+        let net = tandem(2.0, 3.0, 200);
+        let bounds = aba_bounds(&net).unwrap();
+        assert!((bounds.throughput.upper - 2.0).abs() < 1e-9);
+        assert!((bounds.max_demand - 0.5).abs() < 1e-12);
+        assert!((bounds.total_demand - (0.5 + 1.0 / 3.0)).abs() < 1e-12);
+        assert_eq!(bounds.think_time, 0.0);
+    }
+
+    #[test]
+    fn balanced_job_bounds_are_tighter_than_aba() {
+        for &n in &[2usize, 5, 10, 30] {
+            let net = tandem(2.0, 3.0, n);
+            let exact = solve_exact(&net).unwrap();
+            let aba = aba_bounds(&net).unwrap().throughput;
+            let bjb = balanced_job_bounds(&net).unwrap();
+            assert!(bjb.contains(exact.system_throughput, 1e-9), "N = {n}");
+            assert!(bjb.lower >= aba.lower - 1e-12, "N = {n}");
+            assert!(bjb.upper <= aba.upper + 1e-12, "N = {n}");
+        }
+    }
+
+    #[test]
+    fn think_time_from_delay_station_enters_the_bounds() {
+        let routing = DMatrix::from_row_slice(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let net = ClosedNetwork::new(
+            vec![
+                Station::delay("clients", 4.0).unwrap(),
+                Station::queue("server", Service::exponential(1.0).unwrap()),
+            ],
+            routing,
+            3,
+        )
+        .unwrap();
+        let bounds = aba_bounds(&net).unwrap();
+        assert!((bounds.think_time - 4.0).abs() < 1e-12);
+        let exact = solve_exact(&net).unwrap();
+        assert!(bounds.throughput.contains(exact.system_throughput, 1e-9));
+    }
+
+    #[test]
+    fn networks_with_only_delay_stations_are_rejected() {
+        let routing = DMatrix::from_row_slice(1, 1, &[1.0]);
+        let net = ClosedNetwork::new(vec![Station::delay("think", 1.0).unwrap()], routing, 2)
+            .unwrap();
+        assert!(aba_bounds(&net).is_err());
+        assert!(balanced_job_bounds(&net).is_err());
+    }
+}

@@ -1,0 +1,682 @@
+//! Linear-programming bounds from marginal cut balances — the paper's core
+//! contribution.
+//!
+//! ## Idea
+//!
+//! The stationary distribution of the network's CTMC satisfies the global
+//! balance equations, whose size explodes combinatorially. The paper's
+//! observation is that those equations can be *aggregated exactly* into
+//! relations that involve only **marginal probabilities**:
+//!
+//! * `p_k(n, h)   = P[n_k = n, phase_k = h]` — the queue-length/phase
+//!   marginal of station `k`;
+//! * `b_{j,k}(n, h_j) = P[n_j >= 1, phase_j = h_j, n_k = n]` — the joint
+//!   "station j busy in phase h_j while station k holds n jobs" terms that
+//!   appear in the level-crossing flows.
+//!
+//! The number of such terms is `O(M^2 (N+1) K)`, polynomial in the model
+//! size, versus the combinatorial number of global states.
+//!
+//! ## Constraint families
+//!
+//! Every family below is an *exact* property of the true stationary
+//! distribution, so any linear functional optimized over them brackets the
+//! true value (the LP relaxation can only enlarge the feasible set):
+//!
+//! 1. **Normalization** — each station's marginal sums to one.
+//! 2. **Population** — the mean queue lengths sum to `N`.
+//! 3. **Marginal cut balance** (per station, per level `n`): the probability
+//!    flux from states with `n_k = n` to states with `n_k = n + 1` (arrivals
+//!    routed from busy stations `j != k`) equals the flux back (departures
+//!    from `k` that leave the station). This is the grid of "marginal cuts"
+//!    of Figure 7 in the paper.
+//! 4. **Phase balance** (per MAP station): flux balance of the service-phase
+//!    process, which only moves while the station is busy (the phase is
+//!    frozen when the station idles).
+//! 5. **Consistency** — `sum_n b_{j,k}(n, h_j) = P[n_j >= 1, phase_j = h_j]`.
+//! 6. **Structural (in)equalities** — `b_{j,k}(n, h_j) <= P[n_k = n]`,
+//!    `b_{j,k}(N, h_j) = 0`, and "some other station is busy whenever
+//!    `n_k < N`", i.e. `sum_{j != k} P[n_j >= 1, n_k = n] >= P[n_k = n]`.
+//!
+//! Families 3, 4 and 6 can be toggled through [`BoundOptions`] for the
+//! ablation study in `mapqn-bench`; families 1, 2 and 5 are always present.
+//!
+//! The solver only supports networks of single-server queues: delay stations
+//! would require occupancy-weighted marginal terms (a straightforward but
+//! larger extension documented in DESIGN.md).
+
+use super::{BoundInterval, PerformanceIndex};
+use crate::network::ClosedNetwork;
+use crate::{CoreError, Result};
+use mapqn_lp::{LpProblem, LpStatus, Sense, SimplexOptions};
+
+/// Which optional constraint families to include (the mandatory ones —
+/// normalization, population, consistency — are always added).
+#[derive(Debug, Clone, Copy)]
+pub struct BoundOptions {
+    /// Include the marginal cut balance equations (family 3).
+    pub include_cut_balance: bool,
+    /// Include the phase balance equations of MAP stations (family 4).
+    pub include_phase_balance: bool,
+    /// Include the structural inequalities (family 6).
+    pub include_structural: bool,
+    /// Options forwarded to the simplex solver.
+    pub simplex: SimplexOptions,
+}
+
+impl Default for BoundOptions {
+    fn default() -> Self {
+        Self {
+            include_cut_balance: true,
+            include_phase_balance: true,
+            include_structural: true,
+            simplex: SimplexOptions::default(),
+        }
+    }
+}
+
+/// Bounds on all the standard performance indexes of a network.
+#[derive(Debug, Clone)]
+pub struct NetworkBounds {
+    /// Per-station throughput bounds.
+    pub throughput: Vec<BoundInterval>,
+    /// Per-station utilization bounds.
+    pub utilization: Vec<BoundInterval>,
+    /// Per-station mean queue-length bounds.
+    pub mean_queue_length: Vec<BoundInterval>,
+    /// System throughput bounds (station 0).
+    pub system_throughput: BoundInterval,
+    /// System response-time bounds derived from Little's law:
+    /// `R_min = N / X_max`, `R_max = N / X_min`.
+    pub system_response_time: BoundInterval,
+    /// Population the bounds refer to.
+    pub population: usize,
+}
+
+/// Variable indexing of the bound LP.
+struct VariableLayout {
+    m: usize,
+    population: usize,
+    phases: Vec<usize>,
+    /// `p_offsets[k] + n * phases[k] + h` indexes `p_k(n, h)`.
+    p_offsets: Vec<usize>,
+    /// `b_offsets[j][k] + n * phases[j] + h_j` indexes `b_{j,k}(n, h_j)`
+    /// (only for `j != k`; the diagonal entries are unused).
+    b_offsets: Vec<Vec<usize>>,
+    total: usize,
+}
+
+impl VariableLayout {
+    fn new(network: &ClosedNetwork) -> Self {
+        let m = network.num_stations();
+        let population = network.population();
+        let phases: Vec<usize> = network
+            .stations()
+            .iter()
+            .map(|s| s.service.phases())
+            .collect();
+        let levels = population + 1;
+        let mut cursor = 0usize;
+        let mut p_offsets = Vec::with_capacity(m);
+        for &ph in &phases {
+            p_offsets.push(cursor);
+            cursor += levels * ph;
+        }
+        let mut b_offsets = vec![vec![0usize; m]; m];
+        for j in 0..m {
+            for k in 0..m {
+                if j == k {
+                    continue;
+                }
+                b_offsets[j][k] = cursor;
+                cursor += levels * phases[j];
+            }
+        }
+        Self {
+            m,
+            population,
+            phases,
+            p_offsets,
+            b_offsets,
+            total: cursor,
+        }
+    }
+
+    #[inline]
+    fn p(&self, k: usize, n: usize, h: usize) -> usize {
+        self.p_offsets[k] + n * self.phases[k] + h
+    }
+
+    #[inline]
+    fn b(&self, j: usize, k: usize, n: usize, h_j: usize) -> usize {
+        debug_assert_ne!(j, k);
+        self.b_offsets[j][k] + n * self.phases[j] + h_j
+    }
+}
+
+/// The bound solver: builds the constraint set once and solves a pair of
+/// LPs (min / max) per requested performance index.
+pub struct MarginalBoundSolver {
+    network: ClosedNetwork,
+    options: BoundOptions,
+    layout: VariableLayout,
+    base: LpProblem,
+}
+
+impl MarginalBoundSolver {
+    /// Creates a solver for the given network with default options.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::Unsupported`] for networks containing delay
+    /// stations.
+    pub fn new(network: &ClosedNetwork) -> Result<Self> {
+        Self::with_options(network, BoundOptions::default())
+    }
+
+    /// Creates a solver with explicit options.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::Unsupported`] for networks containing delay
+    /// stations.
+    pub fn with_options(network: &ClosedNetwork, options: BoundOptions) -> Result<Self> {
+        if !network.is_queue_only() {
+            return Err(CoreError::Unsupported(
+                "marginal-balance LP bounds support networks of single-server queues only"
+                    .into(),
+            ));
+        }
+        let layout = VariableLayout::new(network);
+        let base = build_constraints(network, &layout, &options);
+        Ok(Self {
+            network: network.clone(),
+            options,
+            layout,
+            base,
+        })
+    }
+
+    /// Number of LP variables (the `M^2 (N+1) K`-style count the paper
+    /// contrasts with the global state-space size).
+    #[must_use]
+    pub fn num_variables(&self) -> usize {
+        self.layout.total
+    }
+
+    /// Number of LP constraints generated.
+    #[must_use]
+    pub fn num_constraints(&self) -> usize {
+        self.base.num_constraints()
+    }
+
+    /// Objective terms of a performance index.
+    fn objective_terms(&self, index: PerformanceIndex) -> Vec<(usize, f64)> {
+        let layout = &self.layout;
+        let network = &self.network;
+        let mut terms = Vec::new();
+        // System throughput is the throughput of the reference station 0.
+        let index = match index {
+            PerformanceIndex::SystemThroughput => PerformanceIndex::Throughput(0),
+            other => other,
+        };
+        match index {
+            PerformanceIndex::SystemThroughput => unreachable!("normalized above"),
+            PerformanceIndex::Throughput(k) => {
+                let station = network.station(k);
+                for n in 1..=layout.population {
+                    for h in 0..layout.phases[k] {
+                        terms.push((layout.p(k, n, h), station.service.completion_rate(h)));
+                    }
+                }
+            }
+            PerformanceIndex::Utilization(k) => {
+                for n in 1..=layout.population {
+                    for h in 0..layout.phases[k] {
+                        terms.push((layout.p(k, n, h), 1.0));
+                    }
+                }
+            }
+            PerformanceIndex::MeanQueueLength(k) => {
+                for n in 1..=layout.population {
+                    for h in 0..layout.phases[k] {
+                        terms.push((layout.p(k, n, h), n as f64));
+                    }
+                }
+            }
+        }
+        terms
+    }
+
+    /// Computes lower and upper bounds on a performance index.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::BoundLpFailed`] when the LP solver reports an
+    /// infeasible or unbounded program (which would indicate a bug in the
+    /// constraint generation, since the true distribution is feasible and
+    /// every supported functional is bounded).
+    pub fn bound(&self, index: PerformanceIndex) -> Result<BoundInterval> {
+        let terms = self.objective_terms(index);
+        let mut problem = self.base.clone();
+        problem.set_objective(&terms);
+
+        problem.set_sense(Sense::Minimize);
+        let lower = problem.solve_with(&self.options.simplex)?;
+        if lower.status != LpStatus::Optimal {
+            return Err(CoreError::BoundLpFailed(format!(
+                "lower-bound LP terminated with status {:?}",
+                lower.status
+            )));
+        }
+        problem.set_sense(Sense::Maximize);
+        let upper = problem.solve_with(&self.options.simplex)?;
+        if upper.status != LpStatus::Optimal {
+            return Err(CoreError::BoundLpFailed(format!(
+                "upper-bound LP terminated with status {:?}",
+                upper.status
+            )));
+        }
+        // The simplex terminates when every reduced cost is within its
+        // optimality tolerance, so the reported optima can fall short of the
+        // true LP optima by a small multiple of that tolerance (tolerance
+        // times the number of variables, conservatively). Widen the interval
+        // by that amount so the returned values remain valid bounds; the
+        // widening is orders of magnitude below the bound widths reported in
+        // the experiments.
+        let numeric_margin =
+            self.options.simplex.tolerance * 10.0 * self.layout.total as f64;
+        let slack = |value: f64| numeric_margin * (1.0 + value.abs());
+        Ok(BoundInterval::new(
+            lower.objective - slack(lower.objective),
+            upper.objective + slack(upper.objective),
+        ))
+    }
+
+    /// Computes bounds on every standard index of the network.
+    ///
+    /// # Errors
+    /// Propagates LP failures.
+    pub fn bound_all(&self) -> Result<NetworkBounds> {
+        let m = self.layout.m;
+        let n = self.layout.population;
+        let mut throughput = Vec::with_capacity(m);
+        let mut utilization = Vec::with_capacity(m);
+        let mut mean_queue_length = Vec::with_capacity(m);
+        for k in 0..m {
+            throughput.push(self.bound(PerformanceIndex::Throughput(k))?);
+            utilization.push(self.bound(PerformanceIndex::Utilization(k))?);
+            mean_queue_length.push(self.bound(PerformanceIndex::MeanQueueLength(k))?);
+        }
+        let system_throughput = throughput[0];
+        let system_response_time = response_time_from_throughput(system_throughput, n);
+        Ok(NetworkBounds {
+            throughput,
+            utilization,
+            mean_queue_length,
+            system_throughput,
+            system_response_time,
+            population: n,
+        })
+    }
+
+    /// Convenience: bounds on the system response time only (one pair of
+    /// LPs), the quantity evaluated in Table 1 of the paper.
+    ///
+    /// # Errors
+    /// Propagates LP failures.
+    pub fn response_time_bounds(&self) -> Result<BoundInterval> {
+        let x = self.bound(PerformanceIndex::SystemThroughput)?;
+        Ok(response_time_from_throughput(x, self.layout.population))
+    }
+}
+
+/// Little's-law conversion used by the paper: `R_min = N / X_max`,
+/// `R_max = N / X_min`.
+fn response_time_from_throughput(x: BoundInterval, population: usize) -> BoundInterval {
+    let n = population as f64;
+    let upper = if x.lower > 0.0 { n / x.lower } else { f64::INFINITY };
+    let lower = if x.upper > 0.0 { n / x.upper } else { 0.0 };
+    BoundInterval::new(lower, upper)
+}
+
+/// Builds the LP constraint set (families 1–6) for the given network.
+fn build_constraints(
+    network: &ClosedNetwork,
+    layout: &VariableLayout,
+    options: &BoundOptions,
+) -> LpProblem {
+    let m = layout.m;
+    let n_pop = layout.population;
+    let mut lp = LpProblem::new(layout.total, Sense::Minimize);
+
+    // Family 1: normalization of each station's marginal.
+    for k in 0..m {
+        let mut terms = Vec::new();
+        for n in 0..=n_pop {
+            for h in 0..layout.phases[k] {
+                terms.push((layout.p(k, n, h), 1.0));
+            }
+        }
+        lp.add_eq(&terms, 1.0);
+    }
+
+    // Family 2: population constraint.
+    {
+        let mut terms = Vec::new();
+        for k in 0..m {
+            for n in 1..=n_pop {
+                for h in 0..layout.phases[k] {
+                    terms.push((layout.p(k, n, h), n as f64));
+                }
+            }
+        }
+        lp.add_eq(&terms, n_pop as f64);
+    }
+
+    // Family 5: consistency between the joint terms and the busy marginals:
+    // sum_n b_{j,k}(n, h_j) = sum_{n >= 1} p_j(n, h_j). The n = N term is
+    // omitted because b_{j,k}(N, h_j) = 0 exactly (station k holding the
+    // whole population leaves no job for station j); dropping the variable
+    // from every constraint enforces this without an extra degenerate row.
+    for j in 0..m {
+        for k in 0..m {
+            if j == k {
+                continue;
+            }
+            for h_j in 0..layout.phases[j] {
+                let mut terms = Vec::new();
+                for n in 0..n_pop {
+                    terms.push((layout.b(j, k, n, h_j), 1.0));
+                }
+                for n in 1..=n_pop {
+                    terms.push((layout.p(j, n, h_j), -1.0));
+                }
+                lp.add_eq(&terms, 0.0);
+            }
+        }
+    }
+
+    // Family 3: marginal cut balance per station and level.
+    if options.include_cut_balance {
+        for k in 0..m {
+            let station_k = network.station(k);
+            let stay_prob = network.routing(k, k);
+            for n in 0..n_pop {
+                let mut terms = Vec::new();
+                // Upward flux: arrivals into k from busy stations j != k.
+                for j in 0..m {
+                    if j == k {
+                        continue;
+                    }
+                    let p_jk = network.routing(j, k);
+                    if p_jk <= 0.0 {
+                        continue;
+                    }
+                    let station_j = network.station(j);
+                    for h_j in 0..layout.phases[j] {
+                        let rate = station_j.service.completion_rate(h_j) * p_jk;
+                        if rate > 0.0 {
+                            terms.push((layout.b(j, k, n, h_j), rate));
+                        }
+                    }
+                }
+                // Downward flux: departures from k at level n + 1 that leave
+                // the station (self-routed completions do not cross the cut).
+                for h_k in 0..layout.phases[k] {
+                    let rate =
+                        station_k.service.completion_rate(h_k) * (1.0 - stay_prob);
+                    if rate > 0.0 {
+                        terms.push((layout.p(k, n + 1, h_k), -rate));
+                    }
+                }
+                lp.add_eq(&terms, 0.0);
+            }
+        }
+    }
+
+    // Family 4: phase balance of MAP stations (phase moves only while busy).
+    if options.include_phase_balance {
+        for k in 0..m {
+            let phases = layout.phases[k];
+            if phases < 2 {
+                continue;
+            }
+            let station = network.station(k);
+            // One equation per phase; the set is redundant by one equation,
+            // which the LP handles (redundant equalities are tolerated).
+            for h in 0..phases {
+                let mut terms = Vec::new();
+                for h2 in 0..phases {
+                    if h2 == h {
+                        continue;
+                    }
+                    // Influx into phase h from phase h2.
+                    let influx = station.service.hidden_rate(h2, h)
+                        + station.service.completion_rate_to(h2, h);
+                    if influx > 0.0 {
+                        for n in 1..=n_pop {
+                            terms.push((layout.p(k, n, h2), influx));
+                        }
+                    }
+                    // Outflux from phase h towards phase h2.
+                    let outflux = station.service.hidden_rate(h, h2)
+                        + station.service.completion_rate_to(h, h2);
+                    if outflux > 0.0 {
+                        for n in 1..=n_pop {
+                            terms.push((layout.p(k, n, h), -outflux));
+                        }
+                    }
+                }
+                if !terms.is_empty() {
+                    lp.add_eq(&terms, 0.0);
+                }
+            }
+        }
+    }
+
+    // Family 6: structural (in)equalities.
+    if options.include_structural {
+        for j in 0..m {
+            for k in 0..m {
+                if j == k {
+                    continue;
+                }
+                for h_j in 0..layout.phases[j] {
+                    // b_{j,k}(N, h_j) = 0 is enforced structurally: the
+                    // variable never appears in any constraint or objective.
+                    // b_{j,k}(n, h_j) <= P[n_k = n].
+                    for n in 0..n_pop {
+                        let mut terms = vec![(layout.b(j, k, n, h_j), 1.0)];
+                        for h_k in 0..layout.phases[k] {
+                            terms.push((layout.p(k, n, h_k), -1.0));
+                        }
+                        lp.add_le(&terms, 0.0);
+                    }
+                }
+            }
+        }
+        // "Someone else is busy" whenever station k does not hold all jobs.
+        for k in 0..m {
+            for n in 0..n_pop {
+                let mut terms = Vec::new();
+                for j in 0..m {
+                    if j == k {
+                        continue;
+                    }
+                    for h_j in 0..layout.phases[j] {
+                        terms.push((layout.b(j, k, n, h_j), 1.0));
+                    }
+                }
+                for h_k in 0..layout.phases[k] {
+                    terms.push((layout.p(k, n, h_k), -1.0));
+                }
+                lp.add_ge(&terms, 0.0);
+            }
+        }
+    }
+
+    lp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::solve_exact;
+    use crate::network::Station;
+    use crate::service::Service;
+    use crate::templates;
+    use mapqn_linalg::DMatrix;
+    use mapqn_stochastic::map2_correlated;
+
+    fn map_tandem(n: usize) -> ClosedNetwork {
+        let routing = DMatrix::from_row_slice(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let map = map2_correlated(0.3, 4.0, 0.4, 0.5).unwrap();
+        ClosedNetwork::new(
+            vec![
+                Station::queue("exp", Service::exponential(1.5).unwrap()),
+                Station::queue("map", Service::map(map)),
+            ],
+            routing,
+            n,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bounds_bracket_exact_for_exponential_tandem() {
+        let routing = DMatrix::from_row_slice(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let net = ClosedNetwork::new(
+            vec![
+                Station::queue("q1", Service::exponential(2.0).unwrap()),
+                Station::queue("q2", Service::exponential(3.0).unwrap()),
+            ],
+            routing,
+            5,
+        )
+        .unwrap();
+        let exact = solve_exact(&net).unwrap();
+        let solver = MarginalBoundSolver::new(&net).unwrap();
+        let bounds = solver.bound_all().unwrap();
+        for k in 0..2 {
+            assert!(
+                bounds.throughput[k].contains(exact.throughput[k], 1e-6),
+                "throughput {k}: {} not in [{}, {}]",
+                exact.throughput[k],
+                bounds.throughput[k].lower,
+                bounds.throughput[k].upper
+            );
+            assert!(bounds.utilization[k].contains(exact.utilization[k], 1e-6));
+            assert!(bounds.mean_queue_length[k].contains(exact.mean_queue_length[k], 1e-6));
+        }
+        assert!(bounds
+            .system_response_time
+            .contains(exact.system_response_time, 1e-6));
+    }
+
+    #[test]
+    fn bounds_bracket_exact_for_map_tandem_across_populations() {
+        for &n in &[1usize, 3, 6, 10] {
+            let net = map_tandem(n);
+            let exact = solve_exact(&net).unwrap();
+            let solver = MarginalBoundSolver::new(&net).unwrap();
+            let x = solver.bound(PerformanceIndex::SystemThroughput).unwrap();
+            assert!(
+                x.contains(exact.system_throughput, 1e-6),
+                "N = {n}: X = {} not in [{}, {}]",
+                exact.system_throughput,
+                x.lower,
+                x.upper
+            );
+            let u = solver.bound(PerformanceIndex::Utilization(1)).unwrap();
+            assert!(u.contains(exact.utilization[1], 1e-6), "N = {n}");
+            let r = solver.response_time_bounds().unwrap();
+            assert!(r.contains(exact.system_response_time, 1e-6), "N = {n}");
+        }
+    }
+
+    #[test]
+    fn bounds_bracket_exact_for_figure5_network() {
+        let net = templates::figure5_network(6, 4.0, 0.5).unwrap();
+        let exact = solve_exact(&net).unwrap();
+        let solver = MarginalBoundSolver::new(&net).unwrap();
+        let bounds = solver.bound_all().unwrap();
+        for k in 0..3 {
+            assert!(
+                bounds.utilization[k].contains(exact.utilization[k], 1e-6),
+                "utilization {k}"
+            );
+            assert!(
+                bounds.throughput[k].contains(exact.throughput[k], 1e-6),
+                "throughput {k}"
+            );
+        }
+        assert!(bounds
+            .system_response_time
+            .contains(exact.system_response_time, 1e-6));
+        // The bounds should be informative: utilization interval narrower
+        // than the trivial [0, 1].
+        assert!(bounds.utilization[2].width() < 0.9);
+    }
+
+    #[test]
+    fn bounds_are_reasonably_tight_for_the_case_study() {
+        // Mirrors the Figure 8 setting at a moderate population; the paper
+        // reports errors of a few percent. We allow a looser threshold but
+        // still require genuinely informative bounds.
+        let net = templates::figure5_network(20, 4.0, 0.5).unwrap();
+        let exact = solve_exact(&net).unwrap();
+        let solver = MarginalBoundSolver::new(&net).unwrap();
+        let r = solver.response_time_bounds().unwrap();
+        assert!(r.contains(exact.system_response_time, 1e-6));
+        assert!(
+            r.max_relative_error(exact.system_response_time) < 0.5,
+            "relative error {} too large",
+            r.max_relative_error(exact.system_response_time)
+        );
+    }
+
+    #[test]
+    fn dropping_constraint_families_loosens_but_never_invalidates_bounds() {
+        let net = map_tandem(5);
+        let exact = solve_exact(&net).unwrap();
+        let full = MarginalBoundSolver::new(&net).unwrap();
+        let full_interval = full.bound(PerformanceIndex::Utilization(1)).unwrap();
+
+        let ablated_options = BoundOptions {
+            include_cut_balance: false,
+            ..BoundOptions::default()
+        };
+        let ablated = MarginalBoundSolver::with_options(&net, ablated_options).unwrap();
+        let ablated_interval = ablated.bound(PerformanceIndex::Utilization(1)).unwrap();
+
+        assert!(full_interval.contains(exact.utilization[1], 1e-6));
+        assert!(ablated_interval.contains(exact.utilization[1], 1e-6));
+        assert!(ablated_interval.width() >= full_interval.width() - 1e-9);
+    }
+
+    #[test]
+    fn variable_count_matches_the_papers_scaling() {
+        let net = map_tandem(10);
+        let solver = MarginalBoundSolver::new(&net).unwrap();
+        // p terms: (N+1) * (1 + 2) phases; b terms: (N+1) * (1 + 2).
+        let expected = 11 * 3 + 11 * 3;
+        assert_eq!(solver.num_variables(), expected);
+        assert!(solver.num_constraints() > 0);
+    }
+
+    #[test]
+    fn delay_stations_are_rejected() {
+        let routing = DMatrix::from_row_slice(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let net = ClosedNetwork::new(
+            vec![
+                Station::delay("clients", 1.0).unwrap(),
+                Station::queue("server", Service::exponential(1.0).unwrap()),
+            ],
+            routing,
+            3,
+        )
+        .unwrap();
+        assert!(matches!(
+            MarginalBoundSolver::new(&net),
+            Err(CoreError::Unsupported(_))
+        ));
+    }
+}

@@ -1,0 +1,248 @@
+//! Courtois-style decomposition–aggregation baseline.
+//!
+//! The paper's Figure 4 shows that "basic Markov chain decomposition
+//! techniques \[Courtois\]" become badly inaccurate on autocorrelated models
+//! as the population grows. The baseline implemented here is the classical
+//! quasi-stationary (nearly-completely-decomposable) decomposition applied
+//! to the MAP phase processes:
+//!
+//! 1. treat the joint service-phase process as the *slow* part of the chain
+//!    and the queueing dynamics as the *fast* part;
+//! 2. for every joint phase configuration, freeze each MAP station at the
+//!    completion rate of its current phase, which yields an exponential
+//!    (product-form) network that MVA solves exactly;
+//! 3. aggregate: weight each conditional solution by the stationary
+//!    probability of the phase configuration.
+//!
+//! This is exact in the limit of infinitely slow phase changes and — like
+//! every technique that ignores the *interaction* between phase dynamics and
+//! queueing — systematically wrong otherwise, which is precisely the effect
+//! Figure 4 illustrates.
+
+use crate::metrics::NetworkMetrics;
+use crate::mva::mva_exact;
+use crate::network::{ClosedNetwork, Station};
+use crate::service::Service;
+use crate::{CoreError, Result};
+
+/// Solves the network with the quasi-stationary decomposition–aggregation
+/// approximation described in the module documentation.
+///
+/// # Errors
+/// Propagates MVA and descriptor failures; requires every station to have a
+/// strictly positive completion rate in every phase (otherwise a frozen
+/// phase would have no service at all and the conditional network would be
+/// degenerate — such models are outside the scope of this baseline).
+pub fn solve_decomposition(network: &ClosedNetwork) -> Result<NetworkMetrics> {
+    let m = network.num_stations();
+
+    // Phase configuration enumeration: the joint phase space of all
+    // stations, together with the stationary probability of each station's
+    // phase process (independent across stations under the decomposition
+    // assumption).
+    let mut per_station_phases: Vec<Vec<(usize, f64)>> = Vec::with_capacity(m);
+    for station in network.stations() {
+        match &station.service {
+            Service::Exponential { .. } => per_station_phases.push(vec![(0, 1.0)]),
+            Service::Map(map) => {
+                let theta = map.phase_stationary()?;
+                let phases = (0..map.phases()).map(|h| (h, theta[h])).collect();
+                per_station_phases.push(phases);
+            }
+        }
+    }
+
+    // Iterate over the Cartesian product of phase configurations.
+    let mut metrics_acc: Option<NetworkMetrics> = None;
+    let mut weight_total = 0.0;
+    let mut config = vec![0usize; m];
+    loop {
+        // Weight of this configuration.
+        let mut weight = 1.0;
+        for (k, &phase_idx) in config.iter().enumerate() {
+            weight *= per_station_phases[k][phase_idx].1;
+        }
+        if weight > 0.0 {
+            let conditional = conditional_network(network, &config, &per_station_phases)?;
+            let solved = mva_exact(&conditional)?.metrics;
+            accumulate(&mut metrics_acc, &solved, weight);
+            weight_total += weight;
+        }
+
+        // Advance the mixed-radix counter.
+        let mut pos = 0;
+        loop {
+            if pos == m {
+                break;
+            }
+            config[pos] += 1;
+            if config[pos] < per_station_phases[pos].len() {
+                break;
+            }
+            config[pos] = 0;
+            pos += 1;
+        }
+        if pos == m {
+            break;
+        }
+    }
+
+    let mut metrics = metrics_acc.ok_or_else(|| {
+        CoreError::InvalidNetwork("decomposition produced no phase configurations".into())
+    })?;
+    // Normalize by the total weight (equals one up to round-off).
+    scale(&mut metrics, 1.0 / weight_total);
+    metrics.population = network.population();
+    Ok(metrics)
+}
+
+/// Builds the exponential network conditioned on a phase configuration.
+fn conditional_network(
+    network: &ClosedNetwork,
+    config: &[usize],
+    per_station_phases: &[Vec<(usize, f64)>],
+) -> Result<ClosedNetwork> {
+    let mut stations = Vec::with_capacity(network.num_stations());
+    for (k, station) in network.stations().iter().enumerate() {
+        let service = match &station.service {
+            Service::Exponential { rate } => Service::Exponential { rate: *rate },
+            Service::Map(_) => {
+                let phase = per_station_phases[k][config[k]].0;
+                let rate = station.service.completion_rate(phase);
+                if rate <= 0.0 {
+                    return Err(CoreError::Unsupported(format!(
+                        "station '{}' has zero completion rate in phase {phase}; \
+                         the quasi-stationary decomposition is not applicable",
+                        station.name
+                    )));
+                }
+                Service::Exponential { rate }
+            }
+        };
+        stations.push(Station {
+            name: station.name.clone(),
+            kind: station.kind,
+            service,
+        });
+    }
+    ClosedNetwork::new(
+        stations,
+        network.routing_matrix().clone(),
+        network.population(),
+    )
+}
+
+/// Accumulates `weight * solved` into the running metrics.
+fn accumulate(acc: &mut Option<NetworkMetrics>, solved: &NetworkMetrics, weight: f64) {
+    match acc {
+        None => {
+            let mut first = solved.clone();
+            scale(&mut first, weight);
+            *acc = Some(first);
+        }
+        Some(existing) => {
+            for k in 0..existing.throughput.len() {
+                existing.throughput[k] += weight * solved.throughput[k];
+                existing.utilization[k] += weight * solved.utilization[k];
+                existing.mean_queue_length[k] += weight * solved.mean_queue_length[k];
+                existing.response_time[k] += weight * solved.response_time[k];
+            }
+            existing.system_throughput += weight * solved.system_throughput;
+            existing.system_response_time += weight * solved.system_response_time;
+        }
+    }
+}
+
+/// Multiplies every metric by `factor`.
+fn scale(metrics: &mut NetworkMetrics, factor: f64) {
+    for v in metrics
+        .throughput
+        .iter_mut()
+        .chain(metrics.utilization.iter_mut())
+        .chain(metrics.mean_queue_length.iter_mut())
+        .chain(metrics.response_time.iter_mut())
+    {
+        *v *= factor;
+    }
+    metrics.system_throughput *= factor;
+    metrics.system_response_time *= factor;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::solve_exact;
+    use crate::templates::figure4_tandem;
+    use mapqn_linalg::{approx_eq, DMatrix};
+    use mapqn_stochastic::mmpp2;
+
+    #[test]
+    fn decomposition_is_exact_for_exponential_networks() {
+        let routing = DMatrix::from_row_slice(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let net = ClosedNetwork::new(
+            vec![
+                Station::queue("a", Service::exponential(2.0).unwrap()),
+                Station::queue("b", Service::exponential(3.0).unwrap()),
+            ],
+            routing,
+            6,
+        )
+        .unwrap();
+        let decomposed = solve_decomposition(&net).unwrap();
+        let exact = solve_exact(&net).unwrap();
+        assert!(approx_eq(decomposed.system_throughput, exact.system_throughput, 1e-9));
+        assert!(approx_eq(decomposed.utilization[0], exact.utilization[0], 1e-9));
+    }
+
+    #[test]
+    fn decomposition_is_accurate_for_slow_phase_modulation() {
+        // Slowly switching MMPP: the quasi-stationary assumption holds and
+        // the decomposition should be close to exact.
+        let routing = DMatrix::from_row_slice(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let slow = mmpp2(3.0, 1.5, 0.001, 0.001).unwrap();
+        let net = ClosedNetwork::new(
+            vec![
+                Station::queue("map", Service::map(slow)),
+                Station::queue("exp", Service::exponential(2.0).unwrap()),
+            ],
+            routing,
+            5,
+        )
+        .unwrap();
+        let decomposed = solve_decomposition(&net).unwrap();
+        let exact = solve_exact(&net).unwrap();
+        let rel = (decomposed.utilization[0] - exact.utilization[0]).abs() / exact.utilization[0];
+        assert!(rel < 0.06, "relative error {rel}");
+    }
+
+    #[test]
+    fn decomposition_shows_visible_error_on_correlated_service() {
+        // The Figure 4 effect: with autocorrelated service the decomposition
+        // departs visibly from the exact solution at moderate populations
+        // (at very small N there is little queueing to get wrong, and at very
+        // large N both curves saturate towards full utilization, so the error
+        // peaks in between).
+        let mut errors = Vec::new();
+        for &n in &[2usize, 8, 20] {
+            let net = figure4_tandem(n, 1.0, 8.0, 0.7, 1.25).unwrap();
+            let exact = solve_exact(&net).unwrap();
+            let decomposed = solve_decomposition(&net).unwrap();
+            errors.push((decomposed.utilization[0] - exact.utilization[0]).abs());
+        }
+        let max_error = errors.iter().fold(0.0_f64, |a, &b| a.max(b));
+        assert!(
+            max_error > 0.05,
+            "decomposition should show visible error somewhere in the sweep: {errors:?}"
+        );
+    }
+
+    #[test]
+    fn decomposition_preserves_population_accounting() {
+        let net = figure4_tandem(10, 1.0, 4.0, 0.5, 1.5).unwrap();
+        let metrics = solve_decomposition(&net).unwrap();
+        assert_eq!(metrics.population, 10);
+        // Mean queue lengths still roughly sum to the population (each
+        // conditional MVA solution conserves jobs, so the mixture does too).
+        assert!((metrics.total_jobs() - 10.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,303 @@
+//! Exact ("global balance") solution of MAP queueing networks.
+//!
+//! This is the reference solution the paper compares every bound against:
+//! enumerate the underlying CTMC, solve for its stationary distribution and
+//! read the performance indexes off the state probabilities. The cost grows
+//! combinatorially with the population and the number of stations — the very
+//! limitation the LP bound methodology removes — so the exact solver is only
+//! practical for the small validation models (three queues, populations up to
+//! a few hundred).
+
+use crate::metrics::NetworkMetrics;
+use crate::network::{ClosedNetwork, StationKind};
+use crate::statespace::{build_state_space, NetworkState};
+use crate::Result;
+use mapqn_markov::{stationary_auto, SteadyStateOptions};
+
+/// Options for the exact solver.
+#[derive(Debug, Clone, Copy)]
+pub struct ExactOptions {
+    /// Maximum number of CTMC states to enumerate before giving up.
+    pub max_states: usize,
+    /// Steady-state solver options (tolerances, dense/iterative threshold).
+    pub steady_state: SteadyStateOptions,
+}
+
+impl Default for ExactOptions {
+    fn default() -> Self {
+        Self {
+            max_states: 2_000_000,
+            steady_state: SteadyStateOptions::default(),
+        }
+    }
+}
+
+/// Solves the network exactly with default options.
+///
+/// # Errors
+/// Propagates state-space and steady-state solver failures.
+pub fn solve_exact(network: &ClosedNetwork) -> Result<NetworkMetrics> {
+    solve_exact_with(network, &ExactOptions::default())
+}
+
+/// Solves the network exactly with explicit options.
+///
+/// # Errors
+/// Propagates state-space and steady-state solver failures.
+pub fn solve_exact_with(
+    network: &ClosedNetwork,
+    options: &ExactOptions,
+) -> Result<NetworkMetrics> {
+    let space = build_state_space(network, options.max_states)?;
+    let pi = stationary_auto(space.ctmc(), &options.steady_state)?;
+
+    let m = network.num_stations();
+    let n = network.population();
+    let mut throughput = vec![0.0; m];
+    let mut busy = vec![0.0; m];
+    let mut mean_queue_length = vec![0.0; m];
+    let mut queue_length_distribution = vec![vec![0.0; n + 1]; m];
+
+    for (idx, state) in space.states().iter().enumerate() {
+        let p = pi[idx];
+        if p == 0.0 {
+            continue;
+        }
+        accumulate_state(
+            network,
+            state,
+            p,
+            &mut throughput,
+            &mut busy,
+            &mut mean_queue_length,
+            &mut queue_length_distribution,
+        );
+    }
+
+    let utilization: Vec<f64> = (0..m)
+        .map(|k| match network.station(k).kind {
+            StationKind::Queue => busy[k],
+            StationKind::Delay => mean_queue_length[k] / n as f64,
+        })
+        .collect();
+    let response_time: Vec<f64> = (0..m)
+        .map(|k| {
+            if throughput[k] > 0.0 {
+                mean_queue_length[k] / throughput[k]
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let system_throughput = throughput[0];
+    let system_response_time = if system_throughput > 0.0 {
+        n as f64 / system_throughput
+    } else {
+        f64::INFINITY
+    };
+
+    Ok(NetworkMetrics {
+        throughput,
+        utilization,
+        mean_queue_length,
+        response_time,
+        queue_length_distribution,
+        system_throughput,
+        system_response_time,
+        population: n,
+    })
+}
+
+/// Adds one state's contribution (weighted by its probability) to the metric
+/// accumulators.
+fn accumulate_state(
+    network: &ClosedNetwork,
+    state: &NetworkState,
+    probability: f64,
+    throughput: &mut [f64],
+    busy: &mut [f64],
+    mean_queue_length: &mut [f64],
+    queue_length_distribution: &mut [Vec<f64>],
+) {
+    for k in 0..network.num_stations() {
+        let n_k = state.queue_lengths[k];
+        let station = network.station(k);
+        queue_length_distribution[k][n_k as usize] += probability;
+        mean_queue_length[k] += probability * f64::from(n_k);
+        if n_k > 0 {
+            busy[k] += probability;
+            let phase = state.phases[k] as usize;
+            let completion_rate = station.service.completion_rate(phase);
+            let multiplier = match station.kind {
+                StationKind::Queue => 1.0,
+                StationKind::Delay => f64::from(n_k),
+            };
+            throughput[k] += probability * completion_rate * multiplier;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Station;
+    use crate::service::Service;
+    use mapqn_linalg::{approx_eq, DMatrix};
+    use mapqn_stochastic::map2_correlated;
+
+    fn tandem_exponential(rate1: f64, rate2: f64, n: usize) -> ClosedNetwork {
+        let routing = DMatrix::from_row_slice(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        ClosedNetwork::new(
+            vec![
+                Station::queue("q1", Service::exponential(rate1).unwrap()),
+                Station::queue("q2", Service::exponential(rate2).unwrap()),
+            ],
+            routing,
+            n,
+        )
+        .unwrap()
+    }
+
+    /// Closed two-queue exponential network has a known product-form
+    /// solution: P[n_1 = i] proportional to rho^i with rho = mu2/mu1.
+    #[test]
+    fn exact_matches_product_form_for_exponential_tandem() {
+        let mu1 = 2.0;
+        let mu2 = 3.0;
+        let n = 6;
+        let metrics = solve_exact(&tandem_exponential(mu1, mu2, n)).unwrap();
+
+        let rho: f64 = mu2 / mu1; // ratio governing the geometric marginal at q1...
+        // Product form: pi(n1) ∝ (1/mu1)^{n1} (1/mu2)^{n-n1} ∝ (mu2/mu1)^{n1}.
+        let weights: Vec<f64> = (0..=n).map(|i| rho.powi(i as i32)).collect();
+        let total: f64 = weights.iter().sum();
+        for i in 0..=n {
+            assert!(
+                approx_eq(metrics.queue_length_distribution[0][i], weights[i] / total, 1e-9),
+                "P[n1 = {i}]"
+            );
+        }
+        // Throughput equality around the cycle.
+        assert!(approx_eq(metrics.throughput[0], metrics.throughput[1], 1e-9));
+        // Utilization law: U_k = X_k / mu_k.
+        assert!(approx_eq(metrics.utilization[0], metrics.throughput[0] / mu1, 1e-9));
+        assert!(approx_eq(metrics.utilization[1], metrics.throughput[1] / mu2, 1e-9));
+        // Jobs are conserved.
+        assert!(approx_eq(metrics.total_jobs(), n as f64, 1e-9));
+        // Little's law at the system level.
+        assert!(approx_eq(
+            metrics.system_response_time,
+            n as f64 / metrics.system_throughput,
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn machine_repairman_with_delay_station_matches_closed_form() {
+        // N machines with exponential up-times (delay station, mean 1/lambda)
+        // and a single repairman (queue, rate mu). The stationary
+        // distribution of the number at the repair queue is the classic
+        // machine-repairman formula.
+        let lambda = 0.5;
+        let mu = 2.0;
+        let n = 4;
+        let routing = DMatrix::from_row_slice(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let net = ClosedNetwork::new(
+            vec![
+                Station::delay("machines", 1.0 / lambda).unwrap(),
+                Station::queue("repair", Service::exponential(mu).unwrap()),
+            ],
+            routing,
+            n,
+        )
+        .unwrap();
+        let metrics = solve_exact(&net).unwrap();
+
+        // pi(k at repair) ∝ N!/(N-k)! (lambda/mu)^k
+        let r = lambda / mu;
+        let mut weights = Vec::new();
+        for k in 0..=n {
+            let mut w = 1.0;
+            for i in 0..k {
+                w *= (n - i) as f64 * r;
+            }
+            weights.push(w);
+        }
+        let total: f64 = weights.iter().sum();
+        for k in 0..=n {
+            assert!(
+                approx_eq(metrics.queue_length_distribution[1][k], weights[k] / total, 1e-9),
+                "P[repair queue = {k}]: {} vs {}",
+                metrics.queue_length_distribution[1][k],
+                weights[k] / total
+            );
+        }
+        // Flow balance: repair throughput equals machine failure throughput.
+        assert!(approx_eq(metrics.throughput[0], metrics.throughput[1], 1e-9));
+    }
+
+    #[test]
+    fn map_service_changes_performance_versus_exponential() {
+        // Same mean everywhere, but the MAP queue has high variability and
+        // positive autocorrelation: its mean queue length must be larger than
+        // in the exponential network (burstiness hurts).
+        let n = 8;
+        let routing = DMatrix::from_row_slice(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let map = map2_correlated(0.3, 5.0, 0.5 / 0.7, 0.6).unwrap();
+        let map = map.scaled_to_mean(1.0).unwrap();
+        let bursty = ClosedNetwork::new(
+            vec![
+                Station::queue("exp", Service::exponential(1.25).unwrap()),
+                Station::queue("map", Service::map(map)),
+            ],
+            routing.clone(),
+            n,
+        )
+        .unwrap();
+        let exponential = ClosedNetwork::new(
+            vec![
+                Station::queue("exp", Service::exponential(1.25).unwrap()),
+                Station::queue("exp2", Service::exponential(1.0).unwrap()),
+            ],
+            routing,
+            n,
+        )
+        .unwrap();
+        let bursty_metrics = solve_exact(&bursty).unwrap();
+        let exp_metrics = solve_exact(&exponential).unwrap();
+        // Burstiness lowers throughput for the same mean demands (the key
+        // performance-degradation effect the paper models).
+        assert!(
+            bursty_metrics.system_throughput < exp_metrics.system_throughput * 0.995,
+            "bursty X = {} vs exponential X = {}",
+            bursty_metrics.system_throughput,
+            exp_metrics.system_throughput
+        );
+        // And it makes the bottleneck queue-length distribution more
+        // variable: jobs pile up during slow service phases.
+        let variance = |dist: &[f64]| {
+            let mean: f64 = dist.iter().enumerate().map(|(i, p)| i as f64 * p).sum();
+            dist.iter()
+                .enumerate()
+                .map(|(i, p)| (i as f64 - mean).powi(2) * p)
+                .sum::<f64>()
+        };
+        assert!(
+            variance(&bursty_metrics.queue_length_distribution[1])
+                > variance(&exp_metrics.queue_length_distribution[1]),
+            "burstiness should increase queue-length variability"
+        );
+        // Population is still conserved.
+        assert!(approx_eq(bursty_metrics.total_jobs(), n as f64, 1e-8));
+    }
+
+    #[test]
+    fn exact_options_limit_state_space() {
+        let net = tandem_exponential(1.0, 1.0, 50);
+        let opts = ExactOptions {
+            max_states: 5,
+            ..ExactOptions::default()
+        };
+        assert!(solve_exact_with(&net, &opts).is_err());
+    }
+}

@@ -1,0 +1,319 @@
+//! Mean Value Analysis for product-form (exponential) closed networks.
+//!
+//! MVA is the classical capacity-planning workhorse the paper contrasts its
+//! approach with: cheap and exact for exponential-service networks, but
+//! blind to service-time variability and temporal dependence. It is used
+//! here (a) as the "no ACF" model of Figure 3, (b) inside the
+//! decomposition-aggregation baseline of Figure 4, and (c) as a correctness
+//! cross-check of the exact CTMC solver on exponential models.
+
+use crate::metrics::NetworkMetrics;
+use crate::network::{ClosedNetwork, StationKind};
+use crate::{CoreError, Result};
+
+/// Result of an exact MVA recursion: system metrics for every population
+/// from 1 to `N`.
+#[derive(Debug, Clone)]
+pub struct MvaSweep {
+    /// System throughput `X(n)` for `n = 1..=N` (index 0 holds `X(1)`).
+    pub throughput: Vec<f64>,
+    /// System response time (per pass, excluding think time) for
+    /// `n = 1..=N`.
+    pub response_time: Vec<f64>,
+    /// Final-population per-station metrics.
+    pub metrics: NetworkMetrics,
+}
+
+/// Exact single-class MVA.
+///
+/// Requires exponential service everywhere (the product-form condition for
+/// FCFS queues). Delay stations are handled as think-time stations.
+///
+/// # Errors
+/// Returns [`CoreError::Unsupported`] when a station has MAP service.
+pub fn mva_exact(network: &ClosedNetwork) -> Result<MvaSweep> {
+    if !network.is_exponential() {
+        return Err(CoreError::Unsupported(
+            "exact MVA requires exponential service at every station; \
+             use the exponentialized network or the MAP-aware solvers"
+                .into(),
+        ));
+    }
+    let m = network.num_stations();
+    let n_pop = network.population();
+    let visits = network.visit_ratios()?;
+    let mut demands = vec![0.0; m];
+    for k in 0..m {
+        demands[k] = visits[k] * network.station(k).service.mean()?;
+    }
+
+    // q[k] = mean queue length at station k for the current population.
+    let mut q = vec![0.0_f64; m];
+    let mut throughput_sweep = Vec::with_capacity(n_pop);
+    let mut response_sweep = Vec::with_capacity(n_pop);
+    let mut x = 0.0;
+    let mut r_per_station = vec![0.0_f64; m];
+
+    for n in 1..=n_pop {
+        let mut r_total = 0.0;
+        let mut z_total = 0.0;
+        for k in 0..m {
+            match network.station(k).kind {
+                StationKind::Queue => {
+                    r_per_station[k] = demands[k] * (1.0 + q[k]);
+                    r_total += r_per_station[k];
+                }
+                StationKind::Delay => {
+                    r_per_station[k] = demands[k];
+                    z_total += demands[k];
+                }
+            }
+        }
+        x = n as f64 / (r_total + z_total);
+        for k in 0..m {
+            q[k] = x * r_per_station[k];
+        }
+        throughput_sweep.push(x);
+        response_sweep.push(r_total);
+    }
+
+    // Assemble per-station metrics at the final population.
+    let mut throughput = vec![0.0; m];
+    let mut utilization = vec![0.0; m];
+    let mut mean_queue_length = vec![0.0; m];
+    let mut response_time = vec![0.0; m];
+    for k in 0..m {
+        throughput[k] = x * visits[k];
+        mean_queue_length[k] = q[k];
+        response_time[k] = if throughput[k] > 0.0 {
+            q[k] / throughput[k]
+        } else {
+            0.0
+        };
+        utilization[k] = match network.station(k).kind {
+            StationKind::Queue => x * demands[k],
+            StationKind::Delay => q[k] / n_pop as f64,
+        };
+    }
+
+    let system_throughput = throughput[0];
+    let system_response_time = n_pop as f64 / system_throughput;
+    Ok(MvaSweep {
+        throughput: throughput_sweep,
+        response_time: response_sweep,
+        metrics: NetworkMetrics {
+            throughput,
+            utilization,
+            mean_queue_length,
+            response_time,
+            queue_length_distribution: vec![Vec::new(); m],
+            system_throughput,
+            system_response_time,
+            population: n_pop,
+        },
+    })
+}
+
+/// Schweitzer / Bard approximate MVA: a fixed point on the mean queue
+/// lengths that avoids the recursion over populations. Useful as a cheap
+/// approximation for very large populations and as another baseline.
+///
+/// # Errors
+/// Returns [`CoreError::Unsupported`] when a station has MAP service, or an
+/// error when the fixed point does not converge.
+pub fn mva_schweitzer(network: &ClosedNetwork, tolerance: f64, max_iter: usize) -> Result<NetworkMetrics> {
+    if !network.is_exponential() {
+        return Err(CoreError::Unsupported(
+            "approximate MVA requires exponential service at every station".into(),
+        ));
+    }
+    let m = network.num_stations();
+    let n_pop = network.population() as f64;
+    let visits = network.visit_ratios()?;
+    let mut demands = vec![0.0; m];
+    for k in 0..m {
+        demands[k] = visits[k] * network.station(k).service.mean()?;
+    }
+
+    let queue_count = network
+        .stations()
+        .iter()
+        .filter(|s| s.kind == StationKind::Queue)
+        .count()
+        .max(1);
+    let mut q = vec![n_pop / queue_count as f64; m];
+    let mut x = 0.0;
+    let mut converged = false;
+    for _ in 0..max_iter {
+        let mut r_total = 0.0;
+        let mut z_total = 0.0;
+        let mut r = vec![0.0; m];
+        for k in 0..m {
+            match network.station(k).kind {
+                StationKind::Queue => {
+                    r[k] = demands[k] * (1.0 + q[k] * (n_pop - 1.0) / n_pop);
+                    r_total += r[k];
+                }
+                StationKind::Delay => {
+                    r[k] = demands[k];
+                    z_total += demands[k];
+                }
+            }
+        }
+        x = n_pop / (r_total + z_total);
+        let mut max_change = 0.0_f64;
+        for k in 0..m {
+            let new_q = x * r[k];
+            max_change = max_change.max((new_q - q[k]).abs());
+            q[k] = new_q;
+        }
+        if max_change < tolerance {
+            converged = true;
+            break;
+        }
+    }
+    if !converged {
+        return Err(CoreError::Markov(mapqn_markov::MarkovError::NoConvergence {
+            iterations: max_iter,
+            residual: f64::NAN,
+        }));
+    }
+
+    let mut throughput = vec![0.0; m];
+    let mut utilization = vec![0.0; m];
+    let mut response_time = vec![0.0; m];
+    for k in 0..m {
+        throughput[k] = x * visits[k];
+        response_time[k] = if throughput[k] > 0.0 { q[k] / throughput[k] } else { 0.0 };
+        utilization[k] = match network.station(k).kind {
+            StationKind::Queue => x * demands[k],
+            StationKind::Delay => q[k] / n_pop,
+        };
+    }
+    let system_throughput = throughput[0];
+    Ok(NetworkMetrics {
+        throughput,
+        utilization,
+        mean_queue_length: q,
+        response_time,
+        queue_length_distribution: vec![Vec::new(); m],
+        system_throughput,
+        system_response_time: n_pop / system_throughput,
+        population: network.population(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::solve_exact;
+    use crate::network::Station;
+    use crate::service::Service;
+    use mapqn_linalg::{approx_eq, DMatrix};
+    use mapqn_stochastic::map2_correlated;
+
+    fn three_queue_network(n: usize) -> ClosedNetwork {
+        let routing = DMatrix::from_row_slice(
+            3,
+            3,
+            &[0.0, 0.4, 0.6, 1.0, 0.0, 0.0, 1.0, 0.0, 0.0],
+        );
+        ClosedNetwork::new(
+            vec![
+                Station::queue("cpu", Service::exponential(5.0).unwrap()),
+                Station::queue("disk1", Service::exponential(2.0).unwrap()),
+                Station::queue("disk2", Service::exponential(3.0).unwrap()),
+            ],
+            routing,
+            n,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mva_matches_exact_ctmc_on_exponential_networks() {
+        for &n in &[1usize, 2, 5, 12] {
+            let net = three_queue_network(n);
+            let mva = mva_exact(&net).unwrap();
+            let exact = solve_exact(&net).unwrap();
+            assert!(
+                approx_eq(mva.metrics.system_throughput, exact.system_throughput, 1e-8),
+                "N = {n}: MVA {} vs exact {}",
+                mva.metrics.system_throughput,
+                exact.system_throughput
+            );
+            for k in 0..3 {
+                assert!(approx_eq(
+                    mva.metrics.mean_queue_length[k],
+                    exact.mean_queue_length[k],
+                    1e-7
+                ));
+                assert!(approx_eq(mva.metrics.utilization[k], exact.utilization[k], 1e-7));
+            }
+        }
+    }
+
+    #[test]
+    fn mva_handles_delay_stations() {
+        let routing = DMatrix::from_row_slice(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let net = ClosedNetwork::new(
+            vec![
+                Station::delay("clients", 5.0).unwrap(),
+                Station::queue("server", Service::exponential(2.0).unwrap()),
+            ],
+            routing,
+            8,
+        )
+        .unwrap();
+        let mva = mva_exact(&net).unwrap();
+        let exact = solve_exact(&net).unwrap();
+        assert!(approx_eq(mva.metrics.system_throughput, exact.system_throughput, 1e-8));
+        assert!(approx_eq(mva.metrics.utilization[1], exact.utilization[1], 1e-8));
+    }
+
+    #[test]
+    fn mva_rejects_map_service() {
+        let routing = DMatrix::from_row_slice(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let map = map2_correlated(0.5, 2.0, 0.5, 0.4).unwrap();
+        let net = ClosedNetwork::new(
+            vec![
+                Station::queue("a", Service::exponential(1.0).unwrap()),
+                Station::queue("b", Service::map(map)),
+            ],
+            routing,
+            3,
+        )
+        .unwrap();
+        assert!(matches!(mva_exact(&net), Err(CoreError::Unsupported(_))));
+        assert!(matches!(
+            mva_schweitzer(&net, 1e-8, 100),
+            Err(CoreError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn schweitzer_is_close_to_exact_mva() {
+        let net = three_queue_network(20);
+        let exact = mva_exact(&net).unwrap();
+        let approx = mva_schweitzer(&net, 1e-10, 10_000).unwrap();
+        let rel = (approx.system_throughput - exact.metrics.system_throughput).abs()
+            / exact.metrics.system_throughput;
+        assert!(rel < 0.05, "relative error {rel}");
+    }
+
+    #[test]
+    fn schweitzer_reports_non_convergence() {
+        let net = three_queue_network(20);
+        assert!(mva_schweitzer(&net, 1e-15, 1).is_err());
+    }
+
+    #[test]
+    fn mva_sweep_is_monotone_in_population() {
+        let net = three_queue_network(15);
+        let sweep = mva_exact(&net).unwrap();
+        for i in 1..sweep.throughput.len() {
+            assert!(sweep.throughput[i] >= sweep.throughput[i - 1] - 1e-12);
+            assert!(sweep.response_time[i] >= sweep.response_time[i - 1] - 1e-12);
+        }
+    }
+}

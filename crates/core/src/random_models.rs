@@ -1,0 +1,171 @@
+//! Random model generation for the Table 1 experiments.
+//!
+//! The paper evaluates the bounds on 10 000 random three-queue models:
+//! routing probabilities and the MAP(2) descriptors (mean, coefficient of
+//! variation, skewness, autocorrelation decay rate) are drawn randomly, the
+//! exact response time is computed by global balance and compared with the
+//! LP bounds over a range of populations.
+
+use crate::network::{ClosedNetwork, Station};
+use crate::service::Service;
+use crate::Result;
+use mapqn_stochastic::{random_map2, RandomMap2Spec};
+use rand::Rng;
+
+/// Configuration of the random-model generator.
+#[derive(Debug, Clone)]
+pub struct RandomModelSpec {
+    /// Number of queues (the paper uses 3 so that the exact solution stays
+    /// tractable).
+    pub num_queues: usize,
+    /// How many of the queues carry MAP(2) service (the rest are
+    /// exponential). The paper draws MAP(2) descriptors for its servers; by
+    /// default all stations are MAP(2).
+    pub num_map_queues: usize,
+    /// Ranges for the random MAP(2) descriptors.
+    pub map_spec: RandomMap2Spec,
+    /// Range of exponential service rates for non-MAP queues.
+    pub exp_rate_range: (f64, f64),
+}
+
+impl Default for RandomModelSpec {
+    fn default() -> Self {
+        Self {
+            num_queues: 3,
+            num_map_queues: 3,
+            map_spec: RandomMap2Spec::default(),
+            exp_rate_range: (0.5, 4.0),
+        }
+    }
+}
+
+/// A generated random model together with the descriptors of its MAP
+/// stations (for reporting).
+#[derive(Debug, Clone)]
+pub struct RandomModel {
+    /// The network (population initialized to 1; use
+    /// [`ClosedNetwork::with_population`] for sweeps).
+    pub network: ClosedNetwork,
+    /// Squared coefficients of variation of the MAP stations, in station
+    /// order.
+    pub map_scvs: Vec<f64>,
+    /// Autocorrelation decay rates of the MAP stations, in station order.
+    pub map_decay_rates: Vec<f64>,
+}
+
+/// Draws a random routing matrix: station 0 routes to every station with a
+/// random probability vector, every other station returns to station 0.
+/// This is the "central server" topology of the paper's example (Figure 5)
+/// with random branching probabilities.
+fn random_routing<R: Rng + ?Sized>(m: usize, rng: &mut R) -> Vec<f64> {
+    let mut matrix = vec![0.0; m * m];
+    // Random branching out of station 0 (including a possible self-loop),
+    // kept away from zero so every station is visited.
+    let mut weights: Vec<f64> = (0..m).map(|_| rng.gen_range(0.1..1.0)).collect();
+    let total: f64 = weights.iter().sum();
+    for w in &mut weights {
+        *w /= total;
+    }
+    for (k, &w) in weights.iter().enumerate() {
+        matrix[k] = w;
+    }
+    for j in 1..m {
+        matrix[j * m] = 1.0;
+    }
+    matrix
+}
+
+/// Generates one random model.
+///
+/// # Errors
+/// Propagates MAP-fitting and network-construction failures (cannot occur
+/// for a well-formed spec).
+pub fn random_model<R: Rng + ?Sized>(spec: &RandomModelSpec, rng: &mut R) -> Result<RandomModel> {
+    let m = spec.num_queues.max(2);
+    let routing_flat = random_routing(m, rng);
+    let routing = mapqn_linalg::DMatrix::from_row_slice(m, m, &routing_flat);
+
+    let mut stations = Vec::with_capacity(m);
+    let mut map_scvs = Vec::new();
+    let mut map_decay_rates = Vec::new();
+    for k in 0..m {
+        if k < spec.num_map_queues.min(m) {
+            let generated = random_map2(&spec.map_spec, rng)?;
+            map_scvs.push(generated.descriptors.scv);
+            map_decay_rates.push(generated.descriptors.acf_decay);
+            stations.push(Station::queue(format!("map-{k}"), Service::map(generated.map)));
+        } else {
+            let rate = rng.gen_range(spec.exp_rate_range.0..spec.exp_rate_range.1);
+            stations.push(Station::queue(format!("exp-{k}"), Service::exponential(rate)?));
+        }
+    }
+    let network = ClosedNetwork::new(stations, routing, 1)?;
+    Ok(RandomModel {
+        network,
+        map_scvs,
+        map_decay_rates,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::MarginalBoundSolver;
+    use crate::exact::solve_exact;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_models_are_valid_networks() {
+        let spec = RandomModelSpec::default();
+        let mut rng = StdRng::seed_from_u64(2024);
+        for _ in 0..20 {
+            let model = random_model(&spec, &mut rng).unwrap();
+            assert_eq!(model.network.num_stations(), 3);
+            assert!(model.network.is_queue_only());
+            assert_eq!(model.map_scvs.len(), 3);
+            // Visit ratios exist (routing is irreducible).
+            let v = model.network.visit_ratios().unwrap();
+            assert!(v.iter().all(|&x| x > 0.0));
+        }
+    }
+
+    #[test]
+    fn bounds_bracket_exact_on_random_models() {
+        // A miniature version of the Table 1 experiment: few models, small
+        // populations, but the same validity property the paper relies on.
+        let spec = RandomModelSpec {
+            num_map_queues: 2,
+            ..RandomModelSpec::default()
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..5 {
+            let model = random_model(&spec, &mut rng).unwrap();
+            for &n in &[1usize, 4] {
+                let net = model.network.with_population(n).unwrap();
+                let exact = solve_exact(&net).unwrap();
+                let solver = MarginalBoundSolver::new(&net).unwrap();
+                let r = solver.response_time_bounds().unwrap();
+                assert!(
+                    r.contains(exact.system_response_time, 1e-6),
+                    "trial {trial}, N = {n}: R = {} not in [{}, {}]",
+                    exact.system_response_time,
+                    r.lower,
+                    r.upper
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exponential_only_spec_produces_product_form_models() {
+        let spec = RandomModelSpec {
+            num_map_queues: 0,
+            ..RandomModelSpec::default()
+        };
+        let mut rng = StdRng::seed_from_u64(99);
+        let model = random_model(&spec, &mut rng).unwrap();
+        assert!(model.network.is_exponential());
+        assert!(model.map_scvs.is_empty());
+    }
+}

@@ -1,0 +1,244 @@
+//! Service processes attached to stations.
+
+use crate::{CoreError, Result};
+use mapqn_stochastic::{exponential_map, Map};
+
+/// The service process of a station.
+///
+/// Exponential service is kept as an explicit variant (rather than a 1-phase
+/// MAP) because many classical algorithms — MVA, product-form results, the
+/// ABA bounds — only apply to exponential stations and need to recognize
+/// them cheaply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Service {
+    /// Exponential service with the given rate.
+    Exponential {
+        /// Service completions per unit time while the server is busy.
+        rate: f64,
+    },
+    /// MAP service: non-exponential distribution and/or autocorrelated
+    /// consecutive service times.
+    Map(Map),
+}
+
+impl Service {
+    /// Builds an exponential service process.
+    ///
+    /// # Errors
+    /// Returns an error when the rate is not strictly positive and finite.
+    pub fn exponential(rate: f64) -> Result<Self> {
+        if rate <= 0.0 || !rate.is_finite() {
+            return Err(CoreError::InvalidNetwork(format!(
+                "exponential service rate must be positive and finite, got {rate}"
+            )));
+        }
+        Ok(Service::Exponential { rate })
+    }
+
+    /// Wraps a MAP service process.
+    #[must_use]
+    pub fn map(map: Map) -> Self {
+        Service::Map(map)
+    }
+
+    /// Number of phases of the service process (1 for exponential).
+    #[must_use]
+    pub fn phases(&self) -> usize {
+        match self {
+            Service::Exponential { .. } => 1,
+            Service::Map(map) => map.phases(),
+        }
+    }
+
+    /// Whether the service process is a plain exponential.
+    #[must_use]
+    pub fn is_exponential(&self) -> bool {
+        matches!(self, Service::Exponential { .. })
+    }
+
+    /// Mean service time.
+    ///
+    /// # Errors
+    /// Propagates numerical failures from the MAP analysis.
+    pub fn mean(&self) -> Result<f64> {
+        match self {
+            Service::Exponential { rate } => Ok(1.0 / rate),
+            Service::Map(map) => Ok(map.mean()?),
+        }
+    }
+
+    /// Mean service rate (`1 / mean`).
+    ///
+    /// # Errors
+    /// Propagates numerical failures from the MAP analysis.
+    pub fn mean_rate(&self) -> Result<f64> {
+        Ok(1.0 / self.mean()?)
+    }
+
+    /// Squared coefficient of variation of the service time.
+    ///
+    /// # Errors
+    /// Propagates numerical failures from the MAP analysis.
+    pub fn scv(&self) -> Result<f64> {
+        match self {
+            Service::Exponential { .. } => Ok(1.0),
+            Service::Map(map) => Ok(map.scv()?),
+        }
+    }
+
+    /// Lag-1 autocorrelation of consecutive service times (zero for
+    /// exponential and any renewal process).
+    ///
+    /// # Errors
+    /// Propagates numerical failures from the MAP analysis.
+    pub fn lag1_autocorrelation(&self) -> Result<f64> {
+        match self {
+            Service::Exponential { .. } => Ok(0.0),
+            Service::Map(map) => Ok(map.autocorrelation(1)?),
+        }
+    }
+
+    /// Completion rate while the server is busy in the given phase: row sum
+    /// of `D1` for a MAP, the rate itself for an exponential.
+    ///
+    /// # Panics
+    /// Panics if `phase` is out of range.
+    #[must_use]
+    pub fn completion_rate(&self, phase: usize) -> f64 {
+        match self {
+            Service::Exponential { rate } => {
+                assert_eq!(phase, 0, "exponential service has a single phase");
+                *rate
+            }
+            Service::Map(map) => {
+                assert!(phase < map.phases(), "phase {phase} out of range");
+                map.d1().row_sum(phase)
+            }
+        }
+    }
+
+    /// Rate of a service completion that moves the service phase from
+    /// `from` to `to` (entry of `D1`).
+    #[must_use]
+    pub fn completion_rate_to(&self, from: usize, to: usize) -> f64 {
+        match self {
+            Service::Exponential { rate } => {
+                if from == 0 && to == 0 {
+                    *rate
+                } else {
+                    0.0
+                }
+            }
+            Service::Map(map) => map.d1()[(from, to)],
+        }
+    }
+
+    /// Rate of a hidden phase change (no completion) from `from` to `to`
+    /// (off-diagonal entry of `D0`); zero for exponential service.
+    #[must_use]
+    pub fn hidden_rate(&self, from: usize, to: usize) -> f64 {
+        match self {
+            Service::Exponential { .. } => 0.0,
+            Service::Map(map) => {
+                if from == to {
+                    0.0
+                } else {
+                    map.d0()[(from, to)]
+                }
+            }
+        }
+    }
+
+    /// A renewal ("uncorrelated") version of this service process with the
+    /// same marginal service-time distribution: the MAP is replaced by the
+    /// renewal MAP of its stationary inter-event distribution. Used by the
+    /// decomposition baselines to quantify how much of the error comes from
+    /// ignoring temporal dependence only.
+    ///
+    /// # Errors
+    /// Propagates numerical failures from the MAP analysis.
+    pub fn exponentialized(&self) -> Result<Service> {
+        match self {
+            Service::Exponential { rate } => Ok(Service::Exponential { rate: *rate }),
+            Service::Map(map) => Service::exponential(1.0 / map.mean()?),
+        }
+    }
+
+    /// Converts the service process to an explicit MAP (identity for MAP
+    /// service, a 1-phase Poisson MAP for exponential service).
+    ///
+    /// # Errors
+    /// Propagates construction failures.
+    pub fn to_map(&self) -> Result<Map> {
+        match self {
+            Service::Exponential { rate } => Ok(exponential_map(*rate)?),
+            Service::Map(map) => Ok(map.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapqn_linalg::approx_eq;
+    use mapqn_stochastic::map2_correlated;
+
+    #[test]
+    fn exponential_service_descriptors() {
+        let s = Service::exponential(4.0).unwrap();
+        assert!(s.is_exponential());
+        assert_eq!(s.phases(), 1);
+        assert!(approx_eq(s.mean().unwrap(), 0.25, 1e-12));
+        assert!(approx_eq(s.mean_rate().unwrap(), 4.0, 1e-12));
+        assert!(approx_eq(s.scv().unwrap(), 1.0, 1e-12));
+        assert_eq!(s.lag1_autocorrelation().unwrap(), 0.0);
+        assert_eq!(s.completion_rate(0), 4.0);
+        assert_eq!(s.completion_rate_to(0, 0), 4.0);
+        assert_eq!(s.completion_rate_to(1, 0), 0.0);
+        assert_eq!(s.hidden_rate(0, 0), 0.0);
+        assert!(Service::exponential(0.0).is_err());
+        assert!(Service::exponential(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn map_service_descriptors() {
+        let map = map2_correlated(0.3, 5.0, 0.5, 0.6).unwrap();
+        let s = Service::map(map.clone());
+        assert!(!s.is_exponential());
+        assert_eq!(s.phases(), 2);
+        assert!(approx_eq(s.mean().unwrap(), map.mean().unwrap(), 1e-12));
+        assert!(s.scv().unwrap() > 1.0);
+        assert!(s.lag1_autocorrelation().unwrap() > 0.0);
+        assert!(approx_eq(s.completion_rate(0), map.d1().row_sum(0), 1e-12));
+        assert!(approx_eq(s.completion_rate_to(0, 1), map.d1()[(0, 1)], 1e-12));
+        assert_eq!(s.hidden_rate(0, 1), map.d0()[(0, 1)]);
+        assert_eq!(s.hidden_rate(0, 0), 0.0);
+    }
+
+    #[test]
+    fn exponentialized_keeps_the_mean_only() {
+        let map = map2_correlated(0.3, 5.0, 0.5, 0.6).unwrap();
+        let s = Service::map(map.clone());
+        let e = s.exponentialized().unwrap();
+        assert!(e.is_exponential());
+        assert!(approx_eq(e.mean().unwrap(), map.mean().unwrap(), 1e-10));
+        assert!(approx_eq(e.scv().unwrap(), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn to_map_round_trips() {
+        let s = Service::exponential(2.0).unwrap();
+        let m = s.to_map().unwrap();
+        assert!(approx_eq(m.rate().unwrap(), 2.0, 1e-12));
+        let map = map2_correlated(0.3, 5.0, 0.5, 0.2).unwrap();
+        let s = Service::map(map.clone());
+        assert_eq!(s.to_map().unwrap(), map);
+    }
+
+    #[test]
+    #[should_panic(expected = "single phase")]
+    fn exponential_completion_rate_rejects_bad_phase() {
+        let s = Service::exponential(1.0).unwrap();
+        let _ = s.completion_rate(1);
+    }
+}

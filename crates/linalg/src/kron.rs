@@ -1,0 +1,183 @@
+//! Kronecker products and sums.
+//!
+//! When several independent MAP service processes run "in parallel" (one per
+//! station of a queueing network), the joint phase process lives on the
+//! product of the individual phase spaces and its generator blocks are built
+//! from Kronecker products and Kronecker sums of the per-station blocks.
+//! These two operations are also handy when building the underlying CTMC of
+//! small MAP networks directly in matrix form for validation.
+
+use crate::dense::DMatrix;
+
+/// Kronecker product `A ⊗ B`.
+///
+/// The result has shape `(a.nrows * b.nrows, a.ncols * b.ncols)` with block
+/// `(i, j)` equal to `a[i, j] * B`.
+#[must_use]
+pub fn kron(a: &DMatrix, b: &DMatrix) -> DMatrix {
+    let (ar, ac) = a.shape();
+    let (br, bc) = b.shape();
+    let mut out = DMatrix::zeros(ar * br, ac * bc);
+    for i in 0..ar {
+        for j in 0..ac {
+            let aij = a[(i, j)];
+            if aij == 0.0 {
+                continue;
+            }
+            for p in 0..br {
+                for q in 0..bc {
+                    out[(i * br + p, j * bc + q)] = aij * b[(p, q)];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Kronecker sum `A ⊕ B = A ⊗ I_b + I_a ⊗ B` for square `A` and `B`.
+///
+/// This is the generator of two independent Markov processes evolving in
+/// parallel, which is exactly the joint phase process of two independent
+/// MAPs (when restricted to their hidden transitions).
+///
+/// # Panics
+/// Panics if either matrix is not square.
+#[must_use]
+pub fn kron_sum(a: &DMatrix, b: &DMatrix) -> DMatrix {
+    assert!(a.is_square(), "kron_sum: A must be square");
+    assert!(b.is_square(), "kron_sum: B must be square");
+    let ia = DMatrix::identity(a.nrows());
+    let ib = DMatrix::identity(b.nrows());
+    let left = kron(a, &ib);
+    let right = kron(&ia, b);
+    left.add(&right)
+        .expect("kron_sum: shapes are consistent by construction")
+}
+
+/// Kronecker product of a list of matrices, folded left to right.
+///
+/// Returns the 1×1 identity for an empty list so the fold has a neutral
+/// element.
+#[must_use]
+pub fn kron_all(mats: &[&DMatrix]) -> DMatrix {
+    let mut acc = DMatrix::identity(1);
+    for m in mats {
+        acc = kron(&acc, m);
+    }
+    acc
+}
+
+/// Kronecker sum of a list of square matrices, folded left to right.
+///
+/// Returns the 1×1 zero matrix for an empty list.
+#[must_use]
+pub fn kron_sum_all(mats: &[&DMatrix]) -> DMatrix {
+    if mats.is_empty() {
+        return DMatrix::zeros(1, 1);
+    }
+    let mut acc = mats[0].clone();
+    for m in &mats[1..] {
+        acc = kron_sum(&acc, m);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kron_of_2x2_matrices() {
+        let a = DMatrix::from_row_slice(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = DMatrix::from_row_slice(2, 2, &[0.0, 5.0, 6.0, 7.0]);
+        let k = kron(&a, &b);
+        assert_eq!(k.shape(), (4, 4));
+        // Top-left block = 1 * B.
+        assert_eq!(k[(0, 1)], 5.0);
+        assert_eq!(k[(1, 0)], 6.0);
+        // Top-right block = 2 * B.
+        assert_eq!(k[(0, 3)], 10.0);
+        assert_eq!(k[(1, 2)], 12.0);
+        // Bottom-right block = 4 * B.
+        assert_eq!(k[(3, 3)], 28.0);
+    }
+
+    #[test]
+    fn kron_with_identity_is_block_diagonal() {
+        let a = DMatrix::from_row_slice(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let i = DMatrix::identity(2);
+        let k = kron(&i, &a);
+        // Off-diagonal blocks are zero.
+        assert_eq!(k[(0, 2)], 0.0);
+        assert_eq!(k[(2, 0)], 0.0);
+        // Diagonal blocks equal A.
+        assert_eq!(k[(2, 2)], 1.0);
+        assert_eq!(k[(3, 3)], 4.0);
+    }
+
+    #[test]
+    fn kron_product_dimensions_for_rectangular_inputs() {
+        let a = DMatrix::zeros(2, 3);
+        let b = DMatrix::zeros(4, 5);
+        assert_eq!(kron(&a, &b).shape(), (8, 15));
+    }
+
+    #[test]
+    fn kron_sum_of_generators_is_a_generator() {
+        // Two CTMC generators: rows sum to zero. Their Kronecker sum must
+        // also have zero row sums (it is the generator of the joint process).
+        let q1 = DMatrix::from_row_slice(2, 2, &[-1.0, 1.0, 2.0, -2.0]);
+        let q2 = DMatrix::from_row_slice(2, 2, &[-3.0, 3.0, 4.0, -4.0]);
+        let qs = kron_sum(&q1, &q2);
+        assert_eq!(qs.shape(), (4, 4));
+        assert!(qs.rows_sum_to(0.0, 1e-12));
+        // The diagonal of the Kronecker sum is the sum of the diagonals.
+        assert_eq!(qs[(0, 0)], -4.0);
+        assert_eq!(qs[(3, 3)], -6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be square")]
+    fn kron_sum_rejects_rectangular() {
+        let a = DMatrix::zeros(2, 3);
+        let b = DMatrix::identity(2);
+        let _ = kron_sum(&a, &b);
+    }
+
+    #[test]
+    fn kron_all_and_kron_sum_all_fold_correctly() {
+        let a = DMatrix::identity(2);
+        let b = DMatrix::from_row_slice(2, 2, &[-1.0, 1.0, 1.0, -1.0]);
+        let c = DMatrix::from_row_slice(2, 2, &[-2.0, 2.0, 0.5, -0.5]);
+
+        let prod = kron_all(&[&a, &b]);
+        assert_eq!(prod.shape(), (4, 4));
+        assert_eq!(prod, kron(&a, &b));
+
+        let empty_prod = kron_all(&[]);
+        assert_eq!(empty_prod, DMatrix::identity(1));
+
+        let sum = kron_sum_all(&[&b, &c]);
+        assert_eq!(sum, kron_sum(&b, &c));
+        assert!(sum.rows_sum_to(0.0, 1e-12));
+
+        let single = kron_sum_all(&[&b]);
+        assert_eq!(single, b);
+
+        let empty_sum = kron_sum_all(&[]);
+        assert_eq!(empty_sum.shape(), (1, 1));
+        assert_eq!(empty_sum[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn kron_mixed_product_property() {
+        // (A ⊗ B)(C ⊗ D) = (AC) ⊗ (BD) for conforming shapes.
+        let a = DMatrix::from_row_slice(2, 2, &[1.0, 2.0, 0.0, 1.0]);
+        let b = DMatrix::from_row_slice(2, 2, &[2.0, 0.0, 1.0, 1.0]);
+        let c = DMatrix::from_row_slice(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let d = DMatrix::from_row_slice(2, 2, &[1.0, 1.0, 0.0, 2.0]);
+        let lhs = kron(&a, &b).matmul(&kron(&c, &d)).unwrap();
+        let rhs = kron(&a.matmul(&c).unwrap(), &b.matmul(&d).unwrap());
+        assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-12);
+    }
+}

@@ -1,0 +1,399 @@
+//! Sparse matrices in compressed sparse row (CSR) format.
+//!
+//! The underlying Markov process of a MAP queueing network has a state space
+//! that grows combinatorially with the number of stations and the job
+//! population, but each state has only a handful of outgoing transitions
+//! (one per busy station per phase transition). The generator is therefore
+//! extremely sparse and the steady-state solvers in `mapqn-markov` operate on
+//! this CSR representation.
+
+use crate::vector::DVector;
+use crate::{LinalgError, Result};
+
+/// A coordinate-format triplet `(row, col, value)` used to assemble sparse
+/// matrices incrementally.
+pub type Triplet = (usize, usize, f64);
+
+/// Sparse matrix in compressed sparse row format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row pointer array of length `rows + 1`.
+    row_ptr: Vec<usize>,
+    /// Column indices of the stored entries, grouped by row.
+    col_idx: Vec<usize>,
+    /// Stored values, aligned with `col_idx`.
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from coordinate triplets. Duplicate `(row, col)`
+    /// entries are summed, explicit zeros are kept (callers that care can
+    /// call [`CsrMatrix::prune`]).
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::InvalidArgument`] when a triplet is out of
+    /// bounds.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[Triplet],
+    ) -> Result<Self> {
+        for &(r, c, _) in triplets {
+            if r >= rows || c >= cols {
+                return Err(LinalgError::InvalidArgument(
+                    "triplet index out of bounds",
+                ));
+            }
+        }
+        // Count entries per row.
+        let mut counts = vec![0usize; rows];
+        for &(r, _, _) in triplets {
+            counts[r] += 1;
+        }
+        let mut row_ptr = vec![0usize; rows + 1];
+        for i in 0..rows {
+            row_ptr[i + 1] = row_ptr[i] + counts[i];
+        }
+        let nnz = row_ptr[rows];
+        let mut col_idx = vec![0usize; nnz];
+        let mut values = vec![0.0; nnz];
+        let mut next = row_ptr.clone();
+        for &(r, c, v) in triplets {
+            let pos = next[r];
+            col_idx[pos] = c;
+            values[pos] = v;
+            next[r] += 1;
+        }
+        let mut m = Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        };
+        m.sort_rows_and_merge_duplicates();
+        Ok(m)
+    }
+
+    /// Creates an empty (all-zero) sparse matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            row_ptr: vec![0; rows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Sorts the column indices within each row and merges duplicates by
+    /// summation. Called automatically by [`CsrMatrix::from_triplets`].
+    fn sort_rows_and_merge_duplicates(&mut self) {
+        let mut new_col_idx = Vec::with_capacity(self.col_idx.len());
+        let mut new_values = Vec::with_capacity(self.values.len());
+        let mut new_row_ptr = vec![0usize; self.rows + 1];
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for r in 0..self.rows {
+            scratch.clear();
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                scratch.push((self.col_idx[k], self.values[k]));
+            }
+            scratch.sort_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < scratch.len() {
+                let col = scratch[i].0;
+                let mut val = scratch[i].1;
+                let mut j = i + 1;
+                while j < scratch.len() && scratch[j].0 == col {
+                    val += scratch[j].1;
+                    j += 1;
+                }
+                new_col_idx.push(col);
+                new_values.push(val);
+                i = j;
+            }
+            new_row_ptr[r + 1] = new_col_idx.len();
+        }
+        self.col_idx = new_col_idx;
+        self.values = new_values;
+        self.row_ptr = new_row_ptr;
+    }
+
+    /// Removes stored entries with absolute value at or below `tol`.
+    pub fn prune(&mut self, tol: f64) {
+        let mut new_col_idx = Vec::with_capacity(self.col_idx.len());
+        let mut new_values = Vec::with_capacity(self.values.len());
+        let mut new_row_ptr = vec![0usize; self.rows + 1];
+        for r in 0..self.rows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                if self.values[k].abs() > tol {
+                    new_col_idx.push(self.col_idx[k]);
+                    new_values.push(self.values[k]);
+                }
+            }
+            new_row_ptr[r + 1] = new_col_idx.len();
+        }
+        self.col_idx = new_col_idx;
+        self.values = new_values;
+        self.row_ptr = new_row_ptr;
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (structurally non-zero) entries.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterator over the stored entries of row `r` as `(col, value)` pairs.
+    ///
+    /// # Panics
+    /// Panics if `r` is out of range.
+    pub fn row_iter(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        assert!(r < self.rows, "row index {r} out of range");
+        let start = self.row_ptr[r];
+        let end = self.row_ptr[r + 1];
+        self.col_idx[start..end]
+            .iter()
+            .copied()
+            .zip(self.values[start..end].iter().copied())
+    }
+
+    /// Value at `(r, c)`; zero when the entry is not stored.
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        if r >= self.rows || c >= self.cols {
+            return 0.0;
+        }
+        for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+            if self.col_idx[k] == c {
+                return self.values[k];
+            }
+        }
+        0.0
+    }
+
+    /// Sum of the stored entries of row `r`.
+    #[must_use]
+    pub fn row_sum(&self, r: usize) -> f64 {
+        self.row_iter(r).map(|(_, v)| v).sum()
+    }
+
+    /// Matrix-vector product `y = A x`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] when `x.len() != ncols`.
+    pub fn matvec(&self, x: &DVector) -> Result<DVector> {
+        if x.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                context: "csr matvec",
+                left: (self.rows, self.cols),
+                right: (x.len(), 1),
+            });
+        }
+        let xs = x.as_slice();
+        let mut y = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let mut s = 0.0;
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                s += self.values[k] * xs[self.col_idx[k]];
+            }
+            y[r] = s;
+        }
+        Ok(DVector::from_vec(y))
+    }
+
+    /// Row-vector times matrix product `y^T = x^T A`.
+    ///
+    /// This is the operation needed by stationary-distribution iterations,
+    /// where probability vectors multiply generators / transition matrices
+    /// from the left.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] when `x.len() != nrows`.
+    pub fn vecmat(&self, x: &DVector) -> Result<DVector> {
+        if x.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                context: "csr vecmat",
+                left: (1, x.len()),
+                right: (self.rows, self.cols),
+            });
+        }
+        let xs = x.as_slice();
+        let mut y = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let xr = xs[r];
+            if xr == 0.0 {
+                continue;
+            }
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                y[self.col_idx[k]] += xr * self.values[k];
+            }
+        }
+        Ok(DVector::from_vec(y))
+    }
+
+    /// Transposed copy (also in CSR format).
+    #[must_use]
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut triplets = Vec::with_capacity(self.nnz());
+        for r in 0..self.rows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                triplets.push((self.col_idx[k], r, self.values[k]));
+            }
+        }
+        CsrMatrix::from_triplets(self.cols, self.rows, &triplets)
+            .expect("transpose: indices are in range by construction")
+    }
+
+    /// Converts to a dense matrix (only sensible for small matrices; used by
+    /// tests and by the dense steady-state path).
+    #[must_use]
+    pub fn to_dense(&self) -> crate::dense::DMatrix {
+        let mut m = crate::dense::DMatrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row_iter(r) {
+                m[(r, c)] += v;
+            }
+        }
+        m
+    }
+
+    /// Scales all stored values by `alpha` in place.
+    pub fn scale_mut(&mut self, alpha: f64) {
+        for v in &mut self.values {
+            *v *= alpha;
+        }
+    }
+
+    /// Extracts the diagonal entries as a vector.
+    #[must_use]
+    pub fn diagonal(&self) -> DVector {
+        let n = self.rows.min(self.cols);
+        let mut d = vec![0.0; n];
+        for (r, dr) in d.iter_mut().enumerate() {
+            *dr = self.get(r, r);
+        }
+        DVector::from_vec(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use crate::dense::DMatrix;
+
+    fn sample() -> CsrMatrix {
+        // [ 1 0 2 ]
+        // [ 0 3 0 ]
+        CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]).unwrap()
+    }
+
+    #[test]
+    fn from_triplets_and_get() {
+        let m = sample();
+        assert_eq!(m.nrows(), 2);
+        assert_eq!(m.ncols(), 3);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.get(0, 2), 2.0);
+        assert_eq!(m.get(1, 1), 3.0);
+        assert_eq!(m.get(5, 5), 0.0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let m = CsrMatrix::from_triplets(1, 1, &[(0, 0, 1.0), (0, 0, 2.5)]).unwrap();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 0), 3.5);
+    }
+
+    #[test]
+    fn out_of_bounds_triplet_is_rejected() {
+        assert!(CsrMatrix::from_triplets(1, 1, &[(1, 0, 1.0)]).is_err());
+        assert!(CsrMatrix::from_triplets(1, 1, &[(0, 1, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let m = sample();
+        let x = DVector::from_vec(vec![1.0, 2.0, 3.0]);
+        let y = m.matvec(&x).unwrap();
+        assert_eq!(y.as_slice(), &[7.0, 6.0]);
+        assert!(m.matvec(&DVector::zeros(2)).is_err());
+    }
+
+    #[test]
+    fn vecmat_matches_dense() {
+        let m = sample();
+        let x = DVector::from_vec(vec![1.0, 2.0]);
+        let y = m.vecmat(&x).unwrap();
+        let dense_y = m.to_dense().vecmat(&x).unwrap();
+        assert_eq!(y.as_slice(), dense_y.as_slice());
+        assert!(m.vecmat(&DVector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.nrows(), 3);
+        assert_eq!(t.ncols(), 2);
+        assert_eq!(t.get(2, 0), 2.0);
+        let tt = t.transpose();
+        assert_eq!(tt.to_dense(), m.to_dense());
+    }
+
+    #[test]
+    fn to_dense_matches_manual_matrix() {
+        let m = sample().to_dense();
+        let expected = DMatrix::from_row_slice(2, 3, &[1.0, 0.0, 2.0, 0.0, 3.0, 0.0]);
+        assert_eq!(m, expected);
+    }
+
+    #[test]
+    fn prune_removes_small_entries() {
+        let mut m =
+            CsrMatrix::from_triplets(2, 2, &[(0, 0, 1e-15), (0, 1, 1.0), (1, 1, -2.0)]).unwrap();
+        m.prune(1e-12);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.get(0, 1), 1.0);
+    }
+
+    #[test]
+    fn row_iteration_is_sorted_by_column() {
+        let m = CsrMatrix::from_triplets(1, 4, &[(0, 3, 3.0), (0, 1, 1.0), (0, 2, 2.0)]).unwrap();
+        let cols: Vec<usize> = m.row_iter(0).map(|(c, _)| c).collect();
+        assert_eq!(cols, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn row_sums_scale_and_diagonal() {
+        let mut m = sample();
+        assert!(approx_eq(m.row_sum(0), 3.0, 1e-12));
+        assert!(approx_eq(m.row_sum(1), 3.0, 1e-12));
+        m.scale_mut(2.0);
+        assert!(approx_eq(m.row_sum(0), 6.0, 1e-12));
+        assert_eq!(m.diagonal().as_slice(), &[2.0, 6.0]);
+        let z = CsrMatrix::zeros(3, 3);
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.diagonal().as_slice(), &[0.0, 0.0, 0.0]);
+    }
+}

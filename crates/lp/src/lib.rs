@@ -1,0 +1,108 @@
+//! # mapqn-lp
+//!
+//! A self-contained dense linear-programming solver.
+//!
+//! The bound methodology of the paper computes upper and lower bounds on a
+//! performance index by solving
+//!
+//! ```text
+//! min / max   f(pi)        subject to   A pi = b,   pi >= 0,
+//! ```
+//!
+//! where the constraints are the *marginal cut balance equations* of the MAP
+//! queueing network and `f` is a linear functional (throughput, utilization,
+//! queue-length moments). The allowed offline crate set contains no LP
+//! solver, so this crate implements a classical **two-phase primal simplex**
+//! on a dense tableau:
+//!
+//! * all structural variables are non-negative (which matches the
+//!   probability variables of the bound LPs);
+//! * constraints may be `<=`, `>=` or `=` with arbitrary right-hand sides;
+//! * phase 1 minimizes the sum of artificial variables to find a basic
+//!   feasible solution (detecting infeasibility), phase 2 optimizes the real
+//!   objective (detecting unboundedness);
+//! * Dantzig pricing with an automatic switch to Bland's rule when progress
+//!   stalls guards against cycling.
+//!
+//! The solver is dense and therefore targeted at the problem sizes produced
+//! by `mapqn-core` (a few hundred to a few thousand variables); it is not a
+//! general-purpose large-scale LP code.
+//!
+//! ```
+//! use mapqn_lp::{LpProblem, Sense};
+//!
+//! // maximize 3x + 2y subject to x + y <= 4, x <= 2, x,y >= 0.
+//! let mut lp = LpProblem::new(2, Sense::Maximize);
+//! lp.set_objective(&[(0, 3.0), (1, 2.0)]);
+//! lp.add_le(&[(0, 1.0), (1, 1.0)], 4.0);
+//! lp.add_le(&[(0, 1.0)], 2.0);
+//! let solution = lp.solve().unwrap();
+//! assert!((solution.objective - 10.0).abs() < 1e-9);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod problem;
+pub mod simplex;
+
+pub use problem::{Constraint, ConstraintOp, LpProblem, Sense};
+pub use simplex::{LpSolution, LpStatus, SimplexOptions};
+
+/// Error type for LP construction and solution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// A constraint or objective referenced a variable index that does not
+    /// exist in the problem.
+    VariableOutOfRange {
+        /// Offending variable index.
+        index: usize,
+        /// Number of variables in the problem.
+        num_vars: usize,
+    },
+    /// A coefficient or right-hand side is NaN or infinite.
+    NonFiniteCoefficient,
+    /// The simplex iteration limit was exceeded.
+    IterationLimit {
+        /// Limit that was hit.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::VariableOutOfRange { index, num_vars } => write!(
+                f,
+                "variable index {index} out of range (problem has {num_vars} variables)"
+            ),
+            LpError::NonFiniteCoefficient => {
+                write!(f, "constraint or objective contains a NaN or infinite coefficient")
+            }
+            LpError::IterationLimit { limit } => {
+                write!(f, "simplex iteration limit of {limit} exceeded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, LpError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = LpError::VariableOutOfRange {
+            index: 7,
+            num_vars: 3,
+        };
+        assert!(e.to_string().contains('7'));
+        assert!(LpError::NonFiniteCoefficient.to_string().contains("NaN"));
+        assert!(LpError::IterationLimit { limit: 10 }.to_string().contains("10"));
+    }
+}

@@ -1,0 +1,229 @@
+//! LP problem description and builder API.
+
+use crate::simplex::{solve_simplex, LpSolution, SimplexOptions};
+use crate::{LpError, Result};
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// Minimize the objective.
+    Minimize,
+    /// Maximize the objective.
+    Maximize,
+}
+
+/// Relational operator of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintOp {
+    /// `a x <= b`
+    Le,
+    /// `a x >= b`
+    Ge,
+    /// `a x = b`
+    Eq,
+}
+
+/// A single linear constraint in sparse form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// Sparse coefficients as `(variable index, coefficient)` pairs.
+    pub coefficients: Vec<(usize, f64)>,
+    /// Relational operator.
+    pub op: ConstraintOp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A linear program over non-negative variables.
+///
+/// All variables are implicitly constrained to be non-negative, which is the
+/// natural domain for the probability variables of the bound LPs.
+#[derive(Debug, Clone)]
+pub struct LpProblem {
+    num_vars: usize,
+    sense: Sense,
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+}
+
+impl LpProblem {
+    /// Creates an empty problem with `num_vars` non-negative variables and a
+    /// zero objective.
+    #[must_use]
+    pub fn new(num_vars: usize, sense: Sense) -> Self {
+        Self {
+            num_vars,
+            sense,
+            objective: vec![0.0; num_vars],
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Number of structural variables.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of constraints added so far.
+    #[must_use]
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Optimization sense.
+    #[must_use]
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// Changes the optimization sense (useful to reuse one constraint set
+    /// for both the lower- and the upper-bound solve).
+    pub fn set_sense(&mut self, sense: Sense) {
+        self.sense = sense;
+    }
+
+    /// Dense view of the objective coefficients.
+    #[must_use]
+    pub fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// The constraints added so far.
+    #[must_use]
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Sets the objective from sparse `(variable, coefficient)` terms,
+    /// replacing any previous objective.
+    ///
+    /// Later duplicates of the same variable are summed.
+    pub fn set_objective(&mut self, terms: &[(usize, f64)]) {
+        self.objective = vec![0.0; self.num_vars];
+        for &(idx, c) in terms {
+            if idx < self.num_vars {
+                self.objective[idx] += c;
+            }
+        }
+    }
+
+    fn push_constraint(&mut self, terms: &[(usize, f64)], op: ConstraintOp, rhs: f64) {
+        self.constraints.push(Constraint {
+            coefficients: terms.to_vec(),
+            op,
+            rhs,
+        });
+    }
+
+    /// Adds a `<=` constraint.
+    pub fn add_le(&mut self, terms: &[(usize, f64)], rhs: f64) {
+        self.push_constraint(terms, ConstraintOp::Le, rhs);
+    }
+
+    /// Adds a `>=` constraint.
+    pub fn add_ge(&mut self, terms: &[(usize, f64)], rhs: f64) {
+        self.push_constraint(terms, ConstraintOp::Ge, rhs);
+    }
+
+    /// Adds an `=` constraint.
+    pub fn add_eq(&mut self, terms: &[(usize, f64)], rhs: f64) {
+        self.push_constraint(terms, ConstraintOp::Eq, rhs);
+    }
+
+    /// Validates variable indices and coefficient finiteness.
+    ///
+    /// # Errors
+    /// Returns the first problem found.
+    pub fn validate(&self) -> Result<()> {
+        for (idx, &c) in self.objective.iter().enumerate() {
+            if !c.is_finite() {
+                let _ = idx;
+                return Err(LpError::NonFiniteCoefficient);
+            }
+        }
+        for constraint in &self.constraints {
+            if !constraint.rhs.is_finite() {
+                return Err(LpError::NonFiniteCoefficient);
+            }
+            for &(idx, c) in &constraint.coefficients {
+                if idx >= self.num_vars {
+                    return Err(LpError::VariableOutOfRange {
+                        index: idx,
+                        num_vars: self.num_vars,
+                    });
+                }
+                if !c.is_finite() {
+                    return Err(LpError::NonFiniteCoefficient);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves the problem with default simplex options.
+    ///
+    /// # Errors
+    /// Propagates validation errors and iteration-limit failures. Infeasible
+    /// and unbounded problems are reported through
+    /// [`LpStatus`](crate::simplex::LpStatus), not as errors.
+    pub fn solve(&self) -> Result<LpSolution> {
+        self.solve_with(&SimplexOptions::default())
+    }
+
+    /// Solves the problem with explicit simplex options.
+    ///
+    /// # Errors
+    /// Propagates validation errors and iteration-limit failures.
+    pub fn solve_with(&self, options: &SimplexOptions) -> Result<LpSolution> {
+        self.validate()?;
+        solve_simplex(self, options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_state() {
+        let mut lp = LpProblem::new(3, Sense::Minimize);
+        lp.set_objective(&[(0, 1.0), (2, 2.0), (0, 0.5)]);
+        lp.add_le(&[(0, 1.0)], 5.0);
+        lp.add_ge(&[(1, 2.0)], 1.0);
+        lp.add_eq(&[(2, 1.0)], 3.0);
+        assert_eq!(lp.num_vars(), 3);
+        assert_eq!(lp.num_constraints(), 3);
+        assert_eq!(lp.objective(), &[1.5, 0.0, 2.0]);
+        assert_eq!(lp.constraints()[0].op, ConstraintOp::Le);
+        assert_eq!(lp.constraints()[1].op, ConstraintOp::Ge);
+        assert_eq!(lp.constraints()[2].op, ConstraintOp::Eq);
+        assert_eq!(lp.sense(), Sense::Minimize);
+        lp.set_sense(Sense::Maximize);
+        assert_eq!(lp.sense(), Sense::Maximize);
+        assert!(lp.validate().is_ok());
+    }
+
+    #[test]
+    fn objective_terms_out_of_range_are_ignored_but_constraints_error() {
+        let mut lp = LpProblem::new(1, Sense::Minimize);
+        lp.set_objective(&[(5, 1.0)]);
+        assert_eq!(lp.objective(), &[0.0]);
+        lp.add_le(&[(5, 1.0)], 1.0);
+        assert!(matches!(
+            lp.validate(),
+            Err(LpError::VariableOutOfRange { index: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_coefficients_are_rejected() {
+        let mut lp = LpProblem::new(1, Sense::Minimize);
+        lp.add_le(&[(0, f64::NAN)], 1.0);
+        assert_eq!(lp.validate(), Err(LpError::NonFiniteCoefficient));
+
+        let mut lp = LpProblem::new(1, Sense::Minimize);
+        lp.add_le(&[(0, 1.0)], f64::INFINITY);
+        assert_eq!(lp.validate(), Err(LpError::NonFiniteCoefficient));
+    }
+}

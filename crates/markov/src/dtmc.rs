@@ -1,0 +1,219 @@
+//! Discrete-time Markov chains.
+//!
+//! Used for embedded processes (the phase chain of a MAP at completion
+//! epochs) and for the uniformized chains that the iterative CTMC solver
+//! works with. Small chains are solved densely, large ones by power
+//! iteration.
+
+use crate::{MarkovError, Result};
+use mapqn_linalg::{lu, norms, CsrMatrix, DMatrix, DVector};
+
+/// A discrete-time Markov chain with a dense transition matrix.
+#[derive(Debug, Clone)]
+pub struct Dtmc {
+    p: DMatrix,
+}
+
+impl Dtmc {
+    /// Creates a DTMC from a transition matrix, validating stochasticity.
+    ///
+    /// # Errors
+    /// Returns [`MarkovError::InvalidChain`] when the matrix is not square,
+    /// has negative entries or rows that do not sum to one.
+    pub fn new(p: DMatrix) -> Result<Self> {
+        if p.nrows() == 0 {
+            return Err(MarkovError::InvalidChain("empty transition matrix".into()));
+        }
+        if !p.is_square() {
+            return Err(MarkovError::InvalidChain(format!(
+                "transition matrix must be square, got {}x{}",
+                p.nrows(),
+                p.ncols()
+            )));
+        }
+        if !p.is_nonnegative(1e-12) {
+            return Err(MarkovError::InvalidChain(
+                "transition matrix has negative entries".into(),
+            ));
+        }
+        if !p.rows_sum_to(1.0, 1e-8) {
+            return Err(MarkovError::InvalidChain(
+                "transition matrix rows must sum to one".into(),
+            ));
+        }
+        Ok(Self { p })
+    }
+
+    /// Number of states.
+    #[must_use]
+    pub fn num_states(&self) -> usize {
+        self.p.nrows()
+    }
+
+    /// The transition matrix.
+    #[must_use]
+    pub fn transition_matrix(&self) -> &DMatrix {
+        &self.p
+    }
+
+    /// Stationary distribution `pi P = pi`, `pi 1 = 1`, computed by a dense
+    /// linear solve (suitable for the small chains this type is used for).
+    ///
+    /// # Errors
+    /// Returns [`MarkovError::InvalidChain`] when the chain is periodic /
+    /// reducible in a way that makes the linear system singular.
+    pub fn stationary(&self) -> Result<DVector> {
+        let n = self.num_states();
+        if n == 1 {
+            return Ok(DVector::from_vec(vec![1.0]));
+        }
+        // Solve pi (P - I) = 0 with normalization: replace last column of
+        // (P - I)^T with ones.
+        let mut a = self.p.sub(&DMatrix::identity(n))?.transpose();
+        for j in 0..n {
+            a[(n - 1, j)] = 1.0;
+        }
+        let mut b = DVector::zeros(n);
+        b[n - 1] = 1.0;
+        let mut pi = lu::solve(&a, &b).map_err(|e| {
+            MarkovError::InvalidChain(format!("stationary system is singular: {e}"))
+        })?;
+        pi.clamp_small_negatives(1e-9);
+        let _ = pi.normalize_sum();
+        Ok(pi)
+    }
+
+    /// `k`-step transition matrix `P^k`.
+    ///
+    /// # Errors
+    /// Propagates linear-algebra failures (cannot occur for a valid chain).
+    pub fn k_step(&self, k: u32) -> Result<DMatrix> {
+        Ok(self.p.pow(k)?)
+    }
+
+    /// Distribution after `k` steps starting from `initial`.
+    ///
+    /// # Errors
+    /// Returns an error when `initial` has the wrong length.
+    pub fn distribution_after(&self, initial: &DVector, k: u32) -> Result<DVector> {
+        if initial.len() != self.num_states() {
+            return Err(MarkovError::InvalidChain(format!(
+                "initial distribution has {} entries, chain has {} states",
+                initial.len(),
+                self.num_states()
+            )));
+        }
+        let pk = self.k_step(k)?;
+        Ok(pk.vecmat(initial)?)
+    }
+}
+
+/// Stationary distribution of a large sparse stochastic matrix by power
+/// iteration (the sparse counterpart of [`Dtmc::stationary`]).
+///
+/// # Errors
+/// Returns [`MarkovError::NoConvergence`] when the iteration does not
+/// converge within `max_iterations`.
+pub fn sparse_dtmc_stationary(
+    p: &CsrMatrix,
+    tolerance: f64,
+    max_iterations: usize,
+) -> Result<DVector> {
+    match norms::power_iteration_left(p, tolerance, max_iterations) {
+        Ok(r) => Ok(r.vector),
+        Err(mapqn_linalg::LinalgError::NoConvergence {
+            iterations,
+            residual,
+        }) => Err(MarkovError::NoConvergence {
+            iterations,
+            residual,
+        }),
+        Err(e) => Err(MarkovError::from(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapqn_linalg::approx_eq;
+
+    fn weather_chain() -> Dtmc {
+        // Classic 2-state chain: stationary (0.8333…, 0.1666…) for these
+        // probabilities.
+        Dtmc::new(DMatrix::from_row_slice(2, 2, &[0.9, 0.1, 0.5, 0.5])).unwrap()
+    }
+
+    #[test]
+    fn stationary_of_two_state_chain() {
+        let chain = weather_chain();
+        let pi = chain.stationary().unwrap();
+        assert!(approx_eq(pi[0], 5.0 / 6.0, 1e-12));
+        assert!(approx_eq(pi[1], 1.0 / 6.0, 1e-12));
+        // pi is invariant under P.
+        let next = chain.transition_matrix().vecmat(&pi).unwrap();
+        assert!(pi.max_abs_diff(&next).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_bad_matrices() {
+        assert!(Dtmc::new(DMatrix::zeros(0, 0)).is_err());
+        assert!(Dtmc::new(DMatrix::zeros(2, 3)).is_err());
+        assert!(Dtmc::new(DMatrix::from_row_slice(2, 2, &[0.5, 0.4, 0.5, 0.5])).is_err());
+        assert!(Dtmc::new(DMatrix::from_row_slice(2, 2, &[1.5, -0.5, 0.5, 0.5])).is_err());
+    }
+
+    #[test]
+    fn k_step_and_distribution_after() {
+        let chain = weather_chain();
+        let p2 = chain.k_step(2).unwrap();
+        let manual = chain
+            .transition_matrix()
+            .matmul(chain.transition_matrix())
+            .unwrap();
+        assert!(p2.max_abs_diff(&manual).unwrap() < 1e-14);
+
+        let initial = DVector::from_vec(vec![1.0, 0.0]);
+        let d1 = chain.distribution_after(&initial, 1).unwrap();
+        assert!(approx_eq(d1[0], 0.9, 1e-12));
+        assert!(approx_eq(d1[1], 0.1, 1e-12));
+        // Long-run distribution approaches the stationary one.
+        let d_inf = chain.distribution_after(&initial, 200).unwrap();
+        let pi = chain.stationary().unwrap();
+        assert!(d_inf.max_abs_diff(&pi).unwrap() < 1e-10);
+        assert!(chain.distribution_after(&DVector::zeros(3), 1).is_err());
+    }
+
+    #[test]
+    fn single_state_chain_is_trivial() {
+        let chain = Dtmc::new(DMatrix::from_row_slice(1, 1, &[1.0])).unwrap();
+        assert_eq!(chain.stationary().unwrap().as_slice(), &[1.0]);
+        assert_eq!(chain.num_states(), 1);
+    }
+
+    #[test]
+    fn sparse_stationary_matches_dense() {
+        let p_dense = DMatrix::from_row_slice(
+            3,
+            3,
+            &[0.5, 0.25, 0.25, 0.2, 0.6, 0.2, 0.3, 0.3, 0.4],
+        );
+        let chain = Dtmc::new(p_dense.clone()).unwrap();
+        let pi_dense = chain.stationary().unwrap();
+
+        let mut triplets = Vec::new();
+        for i in 0..3 {
+            for j in 0..3 {
+                triplets.push((i, j, p_dense[(i, j)]));
+            }
+        }
+        let p_sparse = CsrMatrix::from_triplets(3, 3, &triplets).unwrap();
+        let pi_sparse = sparse_dtmc_stationary(&p_sparse, 1e-13, 100_000).unwrap();
+        assert!(pi_dense.max_abs_diff(&pi_sparse).unwrap() < 1e-9);
+
+        // Non-convergence with a tiny budget.
+        assert!(matches!(
+            sparse_dtmc_stationary(&p_sparse, 1e-16, 1),
+            Err(MarkovError::NoConvergence { .. })
+        ));
+    }
+}

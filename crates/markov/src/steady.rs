@@ -1,0 +1,263 @@
+//! Stationary distribution solvers for CTMCs.
+//!
+//! Two complementary algorithms are provided:
+//!
+//! * **GTH elimination** (Grassmann–Taksar–Heyman) on a dense copy of the
+//!   generator. GTH performs Gaussian elimination using only additions of
+//!   non-negative quantities, so it is backward stable for Markov chains and
+//!   has no convergence parameters. Cost is `O(n^3)` time and `O(n^2)`
+//!   memory, which is fine up to a few thousand states — exactly the regime
+//!   of the paper's exact ("global balance") reference solutions.
+//! * **Power iteration on the uniformized chain** with an adaptive number of
+//!   sweeps, for larger sparse chains where a dense copy is not affordable.
+//!
+//! [`stationary_auto`] picks between the two based on the state count.
+
+use crate::ctmc::Ctmc;
+use crate::{MarkovError, Result};
+use mapqn_linalg::{norms, DVector};
+
+/// Options controlling the iterative solver and the automatic selection.
+#[derive(Debug, Clone, Copy)]
+pub struct SteadyStateOptions {
+    /// Convergence tolerance on the sup-norm change of the iterate.
+    pub tolerance: f64,
+    /// Maximum number of iterations of the power method.
+    pub max_iterations: usize,
+    /// State-count threshold below which the dense GTH solver is used by
+    /// [`stationary_auto`].
+    pub dense_threshold: usize,
+}
+
+impl Default for SteadyStateOptions {
+    fn default() -> Self {
+        Self {
+            tolerance: 1e-12,
+            max_iterations: 200_000,
+            dense_threshold: 2_000,
+        }
+    }
+}
+
+/// Computes the stationary distribution with the GTH algorithm on a dense
+/// copy of the generator.
+///
+/// # Errors
+/// Returns [`MarkovError::InvalidChain`] when the chain is reducible in a way
+/// that produces a zero pivot (states that cannot reach the rest of the
+/// chain).
+pub fn stationary_dense_gth(ctmc: &Ctmc) -> Result<DVector> {
+    let n = ctmc.num_states();
+    let mut q = ctmc.generator().to_dense();
+
+    if n == 1 {
+        return Ok(DVector::from_vec(vec![1.0]));
+    }
+
+    // GTH elimination: process states from the last to the second, folding
+    // each eliminated state's behaviour into the remaining ones using only
+    // non-negative quantities. `pivots[k]` stores the total outflow of state
+    // `k` towards lower-numbered states at the moment it was eliminated; it
+    // is needed again during back-substitution.
+    let mut pivots = vec![0.0_f64; n];
+    for k in (1..n).rev() {
+        // Total outflow of state k towards states 0..k.
+        let mut s = 0.0;
+        for j in 0..k {
+            s += q[(k, j)];
+        }
+        if s <= 0.0 {
+            return Err(MarkovError::InvalidChain(format!(
+                "GTH pivot for state {k} is non-positive: the chain is reducible"
+            )));
+        }
+        pivots[k] = s;
+        for j in 0..k {
+            q[(k, j)] /= s;
+        }
+        for i in 0..k {
+            let qik = q[(i, k)];
+            if qik != 0.0 {
+                for j in 0..k {
+                    if i != j {
+                        let add = qik * q[(k, j)];
+                        q[(i, j)] += add;
+                    }
+                }
+            }
+        }
+    }
+
+    // Back-substitution on the censored chains:
+    // pi[0] = 1, pi[k] = (sum_{i<k} pi[i] * q[i,k]) / pivot_k.
+    let mut pi = vec![0.0_f64; n];
+    pi[0] = 1.0;
+    for k in 1..n {
+        let mut s = 0.0;
+        for (i, &pi_i) in pi.iter().enumerate().take(k) {
+            s += pi_i * q[(i, k)];
+        }
+        pi[k] = s / pivots[k];
+    }
+    let total: f64 = pi.iter().sum();
+    let mut result = DVector::from_vec(pi);
+    result.scale(1.0 / total);
+    Ok(result)
+}
+
+/// Computes the stationary distribution by power iteration on the
+/// uniformized chain `P = I + Q / q`.
+///
+/// # Errors
+/// Returns [`MarkovError::NoConvergence`] when the iteration does not reach
+/// the requested tolerance within the iteration budget.
+pub fn stationary_iterative(ctmc: &Ctmc, options: &SteadyStateOptions) -> Result<DVector> {
+    let (p, _q) = ctmc.uniformized(0.05);
+    match norms::power_iteration_left(&p, options.tolerance, options.max_iterations) {
+        Ok(result) => {
+            let mut pi = result.vector;
+            pi.clamp_small_negatives(1e-15);
+            let _ = pi.normalize_sum();
+            Ok(pi)
+        }
+        Err(mapqn_linalg::LinalgError::NoConvergence {
+            iterations,
+            residual,
+        }) => Err(MarkovError::NoConvergence {
+            iterations,
+            residual,
+        }),
+        Err(e) => Err(MarkovError::from(e)),
+    }
+}
+
+/// Computes the stationary distribution, choosing the dense GTH solver for
+/// small chains and the iterative solver for large ones.
+///
+/// # Errors
+/// Propagates the error of whichever solver was selected; if GTH fails due
+/// to reducibility the iterative solver is tried as a fallback.
+pub fn stationary_auto(ctmc: &Ctmc, options: &SteadyStateOptions) -> Result<DVector> {
+    if ctmc.num_states() <= options.dense_threshold {
+        match stationary_dense_gth(ctmc) {
+            Ok(pi) => Ok(pi),
+            Err(MarkovError::InvalidChain(_)) => stationary_iterative(ctmc, options),
+            Err(e) => Err(e),
+        }
+    } else {
+        stationary_iterative(ctmc, options)
+    }
+}
+
+/// Residual `‖pi Q‖_inf` of a candidate stationary vector — used by tests and
+/// by callers that want to double-check a solution.
+///
+/// # Errors
+/// Propagates dimension mismatches.
+pub fn stationary_residual(ctmc: &Ctmc, pi: &DVector) -> Result<f64> {
+    Ok(norms::left_residual_sparse(ctmc.generator(), pi)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapqn_linalg::approx_eq;
+
+    fn birth_death(n: usize, birth: f64, death: f64) -> Ctmc {
+        let mut transitions = Vec::new();
+        for i in 0..n - 1 {
+            transitions.push((i, i + 1, birth));
+            transitions.push((i + 1, i, death));
+        }
+        Ctmc::from_transitions(n, &transitions).unwrap()
+    }
+
+    /// Closed-form stationary distribution of an M/M/1/K-style birth-death
+    /// chain with constant rates.
+    fn birth_death_exact(n: usize, birth: f64, death: f64) -> Vec<f64> {
+        let rho = birth / death;
+        let weights: Vec<f64> = (0..n).map(|i| rho.powi(i as i32)).collect();
+        let total: f64 = weights.iter().sum();
+        weights.into_iter().map(|w| w / total).collect()
+    }
+
+    #[test]
+    fn gth_matches_birth_death_closed_form() {
+        let ctmc = birth_death(6, 1.0, 2.0);
+        let pi = stationary_dense_gth(&ctmc).unwrap();
+        let exact = birth_death_exact(6, 1.0, 2.0);
+        for i in 0..6 {
+            assert!(approx_eq(pi[i], exact[i], 1e-12), "state {i}: {} vs {}", pi[i], exact[i]);
+        }
+        assert!(stationary_residual(&ctmc, &pi).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn iterative_matches_gth() {
+        let ctmc = birth_death(10, 3.0, 2.0);
+        let dense = stationary_dense_gth(&ctmc).unwrap();
+        let iter = stationary_iterative(&ctmc, &SteadyStateOptions::default()).unwrap();
+        assert!(dense.max_abs_diff(&iter).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn auto_picks_a_working_solver() {
+        let ctmc = birth_death(4, 1.0, 1.0);
+        let opts = SteadyStateOptions {
+            dense_threshold: 2, // force the iterative path
+            ..SteadyStateOptions::default()
+        };
+        let pi_iter = stationary_auto(&ctmc, &opts).unwrap();
+        let pi_dense = stationary_auto(&ctmc, &SteadyStateOptions::default()).unwrap();
+        assert!(pi_iter.max_abs_diff(&pi_dense).unwrap() < 1e-8);
+        // Uniform for symmetric rates.
+        for i in 0..4 {
+            assert!(approx_eq(pi_dense[i], 0.25, 1e-10));
+        }
+    }
+
+    #[test]
+    fn single_state_chain() {
+        let ctmc = Ctmc::from_transitions(1, &[]).unwrap();
+        let pi = stationary_dense_gth(&ctmc).unwrap();
+        assert_eq!(pi.as_slice(), &[1.0]);
+    }
+
+    #[test]
+    fn reducible_chain_is_reported_by_gth() {
+        // Two disconnected states (no transitions at all): GTH pivot is zero.
+        let ctmc = Ctmc::from_transitions(2, &[]).unwrap();
+        assert!(matches!(
+            stationary_dense_gth(&ctmc),
+            Err(MarkovError::InvalidChain(_))
+        ));
+    }
+
+    #[test]
+    fn no_convergence_is_reported_by_iterative_solver() {
+        let ctmc = birth_death(20, 1.0, 1.1);
+        let opts = SteadyStateOptions {
+            tolerance: 1e-15,
+            max_iterations: 2,
+            dense_threshold: 0,
+        };
+        assert!(matches!(
+            stationary_iterative(&ctmc, &opts),
+            Err(MarkovError::NoConvergence { .. })
+        ));
+    }
+
+    #[test]
+    fn three_state_cycle_with_asymmetric_rates() {
+        // 0 -> 1 -> 2 -> 0 with different rates; stationary probabilities are
+        // inversely proportional to the exit rates.
+        let ctmc =
+            Ctmc::from_transitions(3, &[(0, 1, 1.0), (1, 2, 2.0), (2, 0, 4.0)]).unwrap();
+        let pi = stationary_dense_gth(&ctmc).unwrap();
+        // pi_i proportional to 1/rate_i: (1, 0.5, 0.25) normalized.
+        let total = 1.75;
+        assert!(approx_eq(pi[0], 1.0 / total, 1e-12));
+        assert!(approx_eq(pi[1], 0.5 / total, 1e-12));
+        assert!(approx_eq(pi[2], 0.25 / total, 1e-12));
+    }
+}

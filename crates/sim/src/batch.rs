@@ -1,0 +1,171 @@
+//! Batch-means confidence intervals for simulation output.
+//!
+//! The experiment harnesses report point estimates from a single long
+//! replication; this module provides the standard batch-means machinery to
+//! attach confidence intervals to such estimates (and to decide whether a
+//! simulated "measurement" is long enough to be compared against an
+//! analytical model, as done in the Figure 3 harness).
+
+/// Result of a batch-means analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchMeansEstimate {
+    /// Grand mean over all batches.
+    pub mean: f64,
+    /// Half-width of the confidence interval.
+    pub half_width: f64,
+    /// Number of batches used.
+    pub batches: usize,
+    /// Number of observations per batch.
+    pub batch_size: usize,
+}
+
+impl BatchMeansEstimate {
+    /// Lower end of the confidence interval.
+    #[must_use]
+    pub fn lower(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper end of the confidence interval.
+    #[must_use]
+    pub fn upper(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// Relative half-width (`half_width / |mean|`), the usual stopping
+    /// criterion for sequential simulation; infinite when the mean is zero.
+    #[must_use]
+    pub fn relative_half_width(&self) -> f64 {
+        if self.mean == 0.0 {
+            f64::INFINITY
+        } else {
+            self.half_width / self.mean.abs()
+        }
+    }
+}
+
+/// Two-sided Student-t critical value for the given degrees of freedom at
+/// roughly the 95 % confidence level. A small lookup table plus the normal
+/// limit is plenty for batch counts in the usual 10–100 range.
+fn t_critical_95(dof: usize) -> f64 {
+    const TABLE: [(usize, f64); 14] = [
+        (1, 12.706),
+        (2, 4.303),
+        (3, 3.182),
+        (4, 2.776),
+        (5, 2.571),
+        (6, 2.447),
+        (7, 2.365),
+        (8, 2.306),
+        (9, 2.262),
+        (10, 2.228),
+        (15, 2.131),
+        (20, 2.086),
+        (30, 2.042),
+        (60, 2.000),
+    ];
+    for &(d, t) in TABLE.iter().rev() {
+        if dof >= d {
+            // Linear behaviour between table points is unnecessary precision
+            // for a stopping rule; use the closest lower entry.
+            return t;
+        }
+    }
+    TABLE[0].1
+}
+
+/// Computes a batch-means estimate of the mean of `observations` using
+/// `num_batches` equally sized batches (observations that do not fill the
+/// last batch are discarded). Returns `None` when there are fewer than two
+/// usable batches.
+#[must_use]
+pub fn batch_means(observations: &[f64], num_batches: usize) -> Option<BatchMeansEstimate> {
+    if num_batches < 2 {
+        return None;
+    }
+    let batch_size = observations.len() / num_batches;
+    if batch_size == 0 {
+        return None;
+    }
+    let mut batch_averages = Vec::with_capacity(num_batches);
+    for b in 0..num_batches {
+        let slice = &observations[b * batch_size..(b + 1) * batch_size];
+        batch_averages.push(slice.iter().sum::<f64>() / batch_size as f64);
+    }
+    let mean = batch_averages.iter().sum::<f64>() / num_batches as f64;
+    let variance = batch_averages
+        .iter()
+        .map(|x| (x - mean).powi(2))
+        .sum::<f64>()
+        / (num_batches as f64 - 1.0);
+    let standard_error = (variance / num_batches as f64).sqrt();
+    let half_width = t_critical_95(num_batches - 1) * standard_error;
+    Some(BatchMeansEstimate {
+        mean,
+        half_width,
+        batches: num_batches,
+        batch_size,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn constant_series_has_zero_half_width() {
+        let est = batch_means(&[2.0; 100], 10).unwrap();
+        assert_eq!(est.mean, 2.0);
+        assert_eq!(est.half_width, 0.0);
+        assert_eq!(est.lower(), 2.0);
+        assert_eq!(est.upper(), 2.0);
+        assert_eq!(est.batches, 10);
+        assert_eq!(est.batch_size, 10);
+        assert_eq!(est.relative_half_width(), 0.0);
+    }
+
+    #[test]
+    fn iid_series_interval_covers_the_true_mean() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let observations: Vec<f64> = (0..20_000).map(|_| rng.gen_range(0.0..2.0)).collect();
+        let est = batch_means(&observations, 20).unwrap();
+        assert!(
+            est.lower() <= 1.0 && est.upper() >= 1.0,
+            "95% interval [{:.4}, {:.4}] should cover the true mean 1.0",
+            est.lower(),
+            est.upper()
+        );
+        assert!(est.relative_half_width() < 0.05);
+    }
+
+    #[test]
+    fn interval_shrinks_with_more_data() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let observations: Vec<f64> = (0..40_000).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let small = batch_means(&observations[..2_000], 20).unwrap();
+        let large = batch_means(&observations, 20).unwrap();
+        assert!(large.half_width < small.half_width);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(batch_means(&[1.0, 2.0, 3.0], 1).is_none());
+        assert!(batch_means(&[1.0], 5).is_none());
+        assert!(batch_means(&[], 4).is_none());
+    }
+
+    #[test]
+    fn zero_mean_relative_width_is_infinite() {
+        let est = batch_means(&[0.0; 40], 4).unwrap();
+        assert!(est.relative_half_width().is_infinite());
+    }
+
+    #[test]
+    fn t_table_is_monotone_decreasing() {
+        assert!(t_critical_95(1) > t_critical_95(5));
+        assert!(t_critical_95(5) > t_critical_95(40));
+        assert!(t_critical_95(100) >= 1.9);
+    }
+}

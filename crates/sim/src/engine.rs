@@ -1,0 +1,642 @@
+//! Discrete-event simulation engine for closed MAP queueing networks.
+//!
+//! The engine simulates the network at the event level:
+//!
+//! * **Queue stations** serve one job at a time in FCFS order; consecutive
+//!   service times come from a [`ServiceTimeSource`] that carries the MAP
+//!   phase (or cache state) across jobs, which is what makes consecutive
+//!   service times autocorrelated.
+//! * **Delay stations** serve every present job in parallel with independent
+//!   exponential think times.
+//! * Completions are routed by sampling the routing matrix.
+//!
+//! Measurements use a warm-up period followed by a single long measurement
+//! window (time-averaged queue lengths and busy times, counted completions,
+//! per-visit and end-to-end response times, and optional per-flow event
+//! traces for the autocorrelation analysis of Figure 1).
+
+use crate::flows::{FlowKind, FlowTrace};
+use crate::results::SimulationResults;
+use crate::workload::{CacheServer, ExponentialSource, MapSource, ServiceTimeSource};
+use crate::{Result, SimError};
+use mapqn_core::{ClosedNetwork, NetworkMetrics, Service, StationKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+
+/// Configuration of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimulationConfig {
+    /// Total number of service completions to simulate (including warm-up).
+    pub total_completions: u64,
+    /// Fraction of the completions treated as warm-up and discarded.
+    pub warmup_fraction: f64,
+    /// RNG seed (fixed seed = reproducible experiment).
+    pub seed: u64,
+    /// Whether to record per-flow event traces (needed for the Figure 1
+    /// autocorrelation analysis; costs memory proportional to the trace
+    /// length).
+    pub collect_traces: bool,
+    /// Maximum number of events kept per flow trace.
+    pub max_trace_events: usize,
+    /// Optional cache-server overrides: `overrides[k] = Some(params)` makes
+    /// station `k` draw its service times from the cache/memory-pressure
+    /// mechanism instead of the network's analytical service process. This
+    /// is how the "measured testbed" of Figures 1 and 3 is emulated.
+    pub cache_overrides: Vec<Option<crate::workload::CacheServerParameters>>,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        Self {
+            total_completions: 200_000,
+            warmup_fraction: 0.1,
+            seed: 1,
+            collect_traces: false,
+            max_trace_events: 200_000,
+            cache_overrides: Vec::new(),
+        }
+    }
+}
+
+/// Pending event in the calendar.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Event {
+    time: f64,
+    sequence: u64,
+    station: usize,
+    job: usize,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| other.sequence.cmp(&self.sequence))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Per-station simulation state.
+struct StationState {
+    kind: StationKind,
+    /// FCFS queue of `(job id, arrival time at this station)`.
+    queue: VecDeque<(usize, f64)>,
+    /// Job currently in service at a queue station (delay stations have all
+    /// their jobs "in service" and track them only through events).
+    in_service: Option<(usize, f64)>,
+    source: Box<dyn ServiceTimeSource>,
+    /// Think rate for delay stations.
+    delay_rate: f64,
+    // --- measurement accumulators (measurement window only) ---
+    busy_time: f64,
+    area_queue_length: f64,
+    completions: u64,
+    response_time_sum: f64,
+    response_count: u64,
+    /// Time-in-state accumulators for the marginal queue-length
+    /// distribution.
+    occupancy_time: Vec<f64>,
+}
+
+/// Runs a simulation of the network.
+///
+/// # Errors
+/// Returns [`SimError::InvalidConfig`] for nonsensical configuration values
+/// and [`SimError::InvalidModel`] when the network cannot be simulated.
+pub fn simulate(network: &ClosedNetwork, config: &SimulationConfig) -> Result<SimulationResults> {
+    if config.total_completions == 0 {
+        return Err(SimError::InvalidConfig(
+            "total_completions must be positive".into(),
+        ));
+    }
+    if !(0.0..1.0).contains(&config.warmup_fraction) {
+        return Err(SimError::InvalidConfig(
+            "warmup_fraction must be in [0, 1)".into(),
+        ));
+    }
+    let m = network.num_stations();
+    if !config.cache_overrides.is_empty() && config.cache_overrides.len() != m {
+        return Err(SimError::InvalidConfig(format!(
+            "cache_overrides has {} entries but the network has {m} stations",
+            config.cache_overrides.len()
+        )));
+    }
+    let n_jobs = network.population();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Build per-station service sources.
+    let mut stations: Vec<StationState> = Vec::with_capacity(m);
+    for (k, station) in network.stations().iter().enumerate() {
+        let override_params = config.cache_overrides.get(k).copied().flatten();
+        let source: Box<dyn ServiceTimeSource> = if let Some(params) = override_params {
+            if station.kind == StationKind::Delay {
+                return Err(SimError::InvalidModel(
+                    "cache-server overrides are only supported on queue stations".into(),
+                ));
+            }
+            Box::new(CacheServer::new(params))
+        } else {
+            match &station.service {
+                Service::Exponential { rate } => Box::new(ExponentialSource::new(*rate)),
+                Service::Map(map) => Box::new(MapSource::new(map, &mut rng)),
+            }
+        };
+        let delay_rate = match station.kind {
+            StationKind::Delay => station.service.mean_rate().map_err(|e| {
+                SimError::InvalidModel(format!("cannot compute think rate: {e}"))
+            })?,
+            StationKind::Queue => 0.0,
+        };
+        stations.push(StationState {
+            kind: station.kind,
+            queue: VecDeque::new(),
+            in_service: None,
+            source,
+            delay_rate,
+            busy_time: 0.0,
+            area_queue_length: 0.0,
+            completions: 0,
+            response_time_sum: 0.0,
+            response_count: 0,
+            occupancy_time: vec![0.0; n_jobs + 1],
+        });
+    }
+
+    // Routing sampler.
+    let routing: Vec<Vec<f64>> = (0..m)
+        .map(|j| (0..m).map(|k| network.routing(j, k)).collect())
+        .collect();
+
+    // Flow traces.
+    let mut traces: Vec<FlowTrace> = Vec::new();
+    if config.collect_traces {
+        for k in 0..m {
+            traces.push(FlowTrace::new(FlowKind::Arrival(k)));
+            traces.push(FlowTrace::new(FlowKind::Departure(k)));
+        }
+    }
+
+    // Per-job bookkeeping for end-to-end response times (time since the job
+    // last left the reference station 0).
+    let mut left_reference_at: Vec<Option<f64>> = vec![None; n_jobs];
+    let mut end_to_end_sum = 0.0;
+    let mut end_to_end_count = 0u64;
+
+    let mut calendar: BinaryHeap<Event> = BinaryHeap::new();
+    let mut sequence = 0u64;
+    let mut now = 0.0_f64;
+
+    // All jobs start at station 0.
+    for job in 0..n_jobs {
+        arrive(
+            0,
+            job,
+            now,
+            &mut stations,
+            &mut calendar,
+            &mut sequence,
+            &mut rng,
+            None,
+        );
+    }
+
+    let warmup_completions =
+        (config.total_completions as f64 * config.warmup_fraction).round() as u64;
+    let mut completions_seen = 0u64;
+    let mut measuring = warmup_completions == 0;
+    let mut measure_start = 0.0_f64;
+    let mut last_event_time = 0.0_f64;
+
+    while completions_seen < config.total_completions {
+        let Some(event) = calendar.pop() else {
+            return Err(SimError::InvalidModel(
+                "event calendar drained before the simulation finished (disconnected network?)"
+                    .into(),
+            ));
+        };
+        // Accumulate time-weighted statistics over [last_event_time, event.time).
+        let dt = event.time - last_event_time;
+        if measuring && dt > 0.0 {
+            for st in stations.iter_mut() {
+                let n_here = st.queue.len() + usize::from(st.in_service.is_some());
+                st.area_queue_length += dt * n_here as f64;
+                st.occupancy_time[n_here.min(n_jobs)] += dt;
+                match st.kind {
+                    StationKind::Queue => {
+                        if st.in_service.is_some() {
+                            st.busy_time += dt;
+                        }
+                    }
+                    StationKind::Delay => {
+                        st.busy_time += dt * n_here as f64;
+                    }
+                }
+            }
+        }
+        last_event_time = event.time;
+        now = event.time;
+
+        // Service completion at `event.station` for `event.job`.
+        let station_idx = event.station;
+        let job = event.job;
+        let arrival_time;
+        {
+            let st = &mut stations[station_idx];
+            match st.kind {
+                StationKind::Queue => {
+                    let (served_job, arrived_at) = st
+                        .in_service
+                        .take()
+                        .expect("completion event for an idle queue station");
+                    debug_assert_eq!(served_job, job);
+                    arrival_time = arrived_at;
+                }
+                StationKind::Delay => {
+                    // Find and remove the job from the delay station's set.
+                    let pos = st
+                        .queue
+                        .iter()
+                        .position(|&(j, _)| j == job)
+                        .expect("completion event for a job not present at the delay station");
+                    let (_, arrived_at) = st.queue.remove(pos).unwrap();
+                    arrival_time = arrived_at;
+                }
+            }
+            if measuring {
+                st.completions += 1;
+                st.response_time_sum += now - arrival_time;
+                st.response_count += 1;
+            }
+        }
+        completions_seen += 1;
+        if !measuring && completions_seen >= warmup_completions {
+            measuring = true;
+            measure_start = now;
+            // Reset accumulators gathered during warm-up (they are zero by
+            // construction because `measuring` gated them, but response
+            // counters may include the transition event; keep it simple and
+            // accept that single-event imprecision).
+        }
+
+        if config.collect_traces {
+            let trace = &mut traces[2 * station_idx + 1];
+            if trace.len() < config.max_trace_events {
+                trace.record(now);
+            }
+        }
+
+        // Start the next service at a queue station. The job keeps the
+        // arrival time recorded when it joined the queue so that the
+        // per-visit response time covers waiting plus service.
+        {
+            let st = &mut stations[station_idx];
+            if st.kind == StationKind::Queue {
+                if let Some((next_job, arrived_at)) = st.queue.pop_front() {
+                    let service = st.source.next_service_time(&mut rng);
+                    st.in_service = Some((next_job, arrived_at));
+                    sequence += 1;
+                    calendar.push(Event {
+                        time: now + service,
+                        sequence,
+                        station: station_idx,
+                        job: next_job,
+                    });
+                }
+            }
+        }
+
+        // Route the completed job.
+        let destination = sample_destination(&routing[station_idx], &mut rng);
+        // End-to-end response bookkeeping relative to station 0.
+        if station_idx == 0 {
+            left_reference_at[job] = Some(now);
+        }
+        if destination == 0 {
+            if let Some(left_at) = left_reference_at[job].take() {
+                if measuring {
+                    end_to_end_sum += now - left_at;
+                    end_to_end_count += 1;
+                }
+            }
+        }
+        if config.collect_traces {
+            let trace = &mut traces[2 * destination];
+            if trace.len() < config.max_trace_events {
+                trace.record(now);
+            }
+        }
+        arrive(
+            destination,
+            job,
+            now,
+            &mut stations,
+            &mut calendar,
+            &mut sequence,
+            &mut rng,
+            None,
+        );
+    }
+
+    let measured_time = (now - measure_start).max(f64::MIN_POSITIVE);
+    let metrics = assemble_metrics(network, &stations, measured_time, n_jobs);
+    let total_completions: u64 = stations.iter().map(|s| s.completions).sum();
+    let end_to_end_response_time = if end_to_end_count > 0 {
+        Some(end_to_end_sum / end_to_end_count as f64)
+    } else {
+        None
+    };
+
+    Ok(SimulationResults {
+        metrics,
+        flow_traces: traces,
+        measured_time,
+        total_completions,
+        end_to_end_response_time,
+    })
+}
+
+/// Handles the arrival of `job` at `station` at time `now`.
+#[allow(clippy::too_many_arguments)]
+fn arrive(
+    station: usize,
+    job: usize,
+    now: f64,
+    stations: &mut [StationState],
+    calendar: &mut BinaryHeap<Event>,
+    sequence: &mut u64,
+    rng: &mut StdRng,
+    _unused: Option<()>,
+) {
+    let st = &mut stations[station];
+    match st.kind {
+        StationKind::Queue => {
+            if st.in_service.is_none() {
+                let service = st.source.next_service_time(rng);
+                st.in_service = Some((job, now));
+                *sequence += 1;
+                calendar.push(Event {
+                    time: now + service,
+                    sequence: *sequence,
+                    station,
+                    job,
+                });
+            } else {
+                st.queue.push_back((job, now));
+            }
+        }
+        StationKind::Delay => {
+            // Every job thinks independently.
+            st.queue.push_back((job, now));
+            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            let think = -u.ln() / st.delay_rate;
+            *sequence += 1;
+            calendar.push(Event {
+                time: now + think,
+                sequence: *sequence,
+                station,
+                job,
+            });
+        }
+    }
+}
+
+/// Samples the routing destination from a probability row.
+fn sample_destination(row: &[f64], rng: &mut StdRng) -> usize {
+    let mut u: f64 = rng.gen();
+    for (k, &p) in row.iter().enumerate() {
+        if u <= p {
+            return k;
+        }
+        u -= p;
+    }
+    row.len() - 1
+}
+
+/// Converts the raw accumulators into the shared metrics structure.
+fn assemble_metrics(
+    network: &ClosedNetwork,
+    stations: &[StationState],
+    measured_time: f64,
+    population: usize,
+) -> NetworkMetrics {
+    let m = stations.len();
+    let mut throughput = vec![0.0; m];
+    let mut utilization = vec![0.0; m];
+    let mut mean_queue_length = vec![0.0; m];
+    let mut response_time = vec![0.0; m];
+    let mut queue_length_distribution = vec![vec![0.0; population + 1]; m];
+    for (k, st) in stations.iter().enumerate() {
+        throughput[k] = st.completions as f64 / measured_time;
+        mean_queue_length[k] = st.area_queue_length / measured_time;
+        utilization[k] = match st.kind {
+            StationKind::Queue => st.busy_time / measured_time,
+            StationKind::Delay => st.busy_time / measured_time / population as f64,
+        };
+        response_time[k] = if st.response_count > 0 {
+            st.response_time_sum / st.response_count as f64
+        } else {
+            0.0
+        };
+        let total_occupancy: f64 = st.occupancy_time.iter().sum();
+        if total_occupancy > 0.0 {
+            for n in 0..=population {
+                queue_length_distribution[k][n] = st.occupancy_time[n] / total_occupancy;
+            }
+        }
+    }
+    let system_throughput = throughput[0];
+    let system_response_time = if system_throughput > 0.0 {
+        network.population() as f64 / system_throughput
+    } else {
+        f64::INFINITY
+    };
+    NetworkMetrics {
+        throughput,
+        utilization,
+        mean_queue_length,
+        response_time,
+        queue_length_distribution,
+        system_throughput,
+        system_response_time,
+        population,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapqn_core::templates;
+    use mapqn_core::{solve_exact, Station};
+    use mapqn_linalg::DMatrix;
+
+    fn quick_config(seed: u64) -> SimulationConfig {
+        SimulationConfig {
+            total_completions: 400_000,
+            warmup_fraction: 0.1,
+            seed,
+            collect_traces: false,
+            max_trace_events: 0,
+            cache_overrides: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn simulation_matches_exact_for_exponential_tandem() {
+        let routing = DMatrix::from_row_slice(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let net = mapqn_core::ClosedNetwork::new(
+            vec![
+                Station::queue("q1", Service::exponential(2.0).unwrap()),
+                Station::queue("q2", Service::exponential(3.0).unwrap()),
+            ],
+            routing,
+            5,
+        )
+        .unwrap();
+        let exact = solve_exact(&net).unwrap();
+        let sim = simulate(&net, &quick_config(11)).unwrap();
+        assert!(
+            (sim.metrics.system_throughput - exact.system_throughput).abs()
+                / exact.system_throughput
+                < 0.02,
+            "sim {} vs exact {}",
+            sim.metrics.system_throughput,
+            exact.system_throughput
+        );
+        for k in 0..2 {
+            assert!(
+                (sim.metrics.utilization[k] - exact.utilization[k]).abs() < 0.02,
+                "station {k}"
+            );
+            assert!(
+                (sim.metrics.mean_queue_length[k] - exact.mean_queue_length[k]).abs() < 0.1,
+                "station {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn simulation_matches_exact_for_map_network() {
+        let net = templates::figure5_network(8, 4.0, 0.5).unwrap();
+        let exact = solve_exact(&net).unwrap();
+        let sim = simulate(&net, &quick_config(5)).unwrap();
+        assert!(
+            (sim.metrics.utilization[2] - exact.utilization[2]).abs() < 0.03,
+            "MAP queue utilization: sim {} vs exact {}",
+            sim.metrics.utilization[2],
+            exact.utilization[2]
+        );
+        assert!(
+            (sim.metrics.system_throughput - exact.system_throughput).abs()
+                / exact.system_throughput
+                < 0.03
+        );
+    }
+
+    #[test]
+    fn simulation_handles_delay_stations_and_end_to_end_times() {
+        let params = templates::TpcwParameters {
+            browsers: 20,
+            ..templates::TpcwParameters::default()
+        };
+        let net = templates::tpcw_network(&params).unwrap();
+        let mut config = quick_config(3);
+        config.total_completions = 150_000;
+        let sim = simulate(&net, &config).unwrap();
+        // All browsers are somewhere.
+        assert!((sim.metrics.total_jobs() - 20.0).abs() < 0.5);
+        // End-to-end response times were observed and are positive.
+        let r = sim.end_to_end_response_time.unwrap();
+        assert!(r > 0.0);
+        // Flow conservation: front server sees client requests plus DB
+        // replies.
+        let p = params.db_query_probability;
+        let expected_ratio = 1.0 / (1.0 - p);
+        let ratio = sim.metrics.throughput[1] / sim.metrics.throughput[0];
+        assert!((ratio - expected_ratio).abs() / expected_ratio < 0.05);
+    }
+
+    #[test]
+    fn traces_capture_autocorrelated_departures() {
+        let net = templates::figure4_tandem(10, 1.0, 8.0, 0.7, 1.25).unwrap();
+        let config = SimulationConfig {
+            total_completions: 200_000,
+            warmup_fraction: 0.05,
+            seed: 9,
+            collect_traces: true,
+            max_trace_events: 100_000,
+            cache_overrides: Vec::new(),
+        };
+        let sim = simulate(&net, &config).unwrap();
+        let departures = sim.trace(FlowKind::Departure(0)).unwrap();
+        assert!(departures.len() > 10_000);
+        let acf = departures.autocorrelation(5);
+        assert!(acf[0] > 0.02, "departure flow should be autocorrelated, acf1 = {}", acf[0]);
+        let arrivals = sim.trace(FlowKind::Arrival(1)).unwrap();
+        assert!(!arrivals.is_empty());
+    }
+
+    #[test]
+    fn cache_override_creates_bursty_front_server() {
+        let params = templates::TpcwParameters {
+            browsers: 30,
+            front_scv: 1.0,
+            front_acf_decay: 0.0,
+            ..templates::TpcwParameters::default()
+        };
+        let net = templates::tpcw_network(&params).unwrap();
+        let mut config = quick_config(17);
+        config.total_completions = 150_000;
+        config.collect_traces = true;
+        config.max_trace_events = 80_000;
+        config.cache_overrides = vec![
+            None,
+            Some(crate::workload::CacheServerParameters::default()),
+            None,
+        ];
+        let sim = simulate(&net, &config).unwrap();
+        let departures = sim.trace(FlowKind::Departure(1)).unwrap();
+        let acf = departures.autocorrelation(10);
+        assert!(
+            acf[0] > 0.03,
+            "front-server departures should be autocorrelated, acf1 = {}",
+            acf[0]
+        );
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let net = templates::figure4_tandem(2, 1.0, 2.0, 0.2, 1.0).unwrap();
+        let mut config = quick_config(1);
+        config.total_completions = 0;
+        assert!(simulate(&net, &config).is_err());
+        let mut config = quick_config(1);
+        config.warmup_fraction = 1.5;
+        assert!(simulate(&net, &config).is_err());
+        let mut config = quick_config(1);
+        config.cache_overrides = vec![None];
+        assert!(simulate(&net, &config).is_err());
+    }
+
+    #[test]
+    fn fixed_seed_is_reproducible() {
+        let net = templates::figure4_tandem(5, 1.0, 4.0, 0.5, 1.5).unwrap();
+        let mut config = quick_config(42);
+        config.total_completions = 20_000;
+        let a = simulate(&net, &config).unwrap();
+        let b = simulate(&net, &config).unwrap();
+        assert_eq!(a.metrics.system_throughput, b.metrics.system_throughput);
+        assert_eq!(a.total_completions, b.total_completions);
+    }
+}

@@ -1,0 +1,152 @@
+//! Event-flow traces and their autocorrelation analysis.
+//!
+//! Figure 1 of the paper marks six flows in the TPC-W system — client
+//! arrivals/departures, front-server arrivals/departures and database
+//! arrivals/departures — and plots the autocorrelation function of each.
+//! [`FlowTrace`] records the event timestamps of one such flow during a
+//! simulation and computes the ACF of its inter-event times.
+
+use mapqn_stochastic::acf;
+
+/// Identity of a monitored flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowKind {
+    /// Jobs arriving at the given station.
+    Arrival(usize),
+    /// Jobs departing from the given station.
+    Departure(usize),
+}
+
+impl FlowKind {
+    /// Station the flow refers to.
+    #[must_use]
+    pub fn station(&self) -> usize {
+        match *self {
+            FlowKind::Arrival(k) | FlowKind::Departure(k) => k,
+        }
+    }
+
+    /// Human-readable label (used by the Figure 1 harness output).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match *self {
+            FlowKind::Arrival(k) => format!("station-{k}-arrivals"),
+            FlowKind::Departure(k) => format!("station-{k}-departures"),
+        }
+    }
+}
+
+/// A recorded flow: the ordered timestamps of its events.
+#[derive(Debug, Clone)]
+pub struct FlowTrace {
+    /// Which flow this is.
+    pub kind: FlowKind,
+    /// Event timestamps in increasing order.
+    pub timestamps: Vec<f64>,
+}
+
+impl FlowTrace {
+    /// Creates an empty trace for the given flow.
+    #[must_use]
+    pub fn new(kind: FlowKind) -> Self {
+        Self {
+            kind,
+            timestamps: Vec::new(),
+        }
+    }
+
+    /// Records an event (timestamps must be fed in non-decreasing order; the
+    /// simulation engine guarantees this).
+    pub fn record(&mut self, time: f64) {
+        self.timestamps.push(time);
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.timestamps.len()
+    }
+
+    /// Whether no events were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.timestamps.is_empty()
+    }
+
+    /// Inter-event times of the flow.
+    #[must_use]
+    pub fn interevent_times(&self) -> Vec<f64> {
+        self.timestamps
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .collect()
+    }
+
+    /// Mean event rate (events per unit time) over the recorded horizon.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        if self.timestamps.len() < 2 {
+            return 0.0;
+        }
+        let horizon = self.timestamps.last().unwrap() - self.timestamps.first().unwrap();
+        if horizon <= 0.0 {
+            return 0.0;
+        }
+        (self.timestamps.len() - 1) as f64 / horizon
+    }
+
+    /// Autocorrelation function of the inter-event times for lags
+    /// `1..=max_lag` — the curves plotted in Figure 1.
+    #[must_use]
+    pub fn autocorrelation(&self, max_lag: usize) -> Vec<f64> {
+        acf::autocorrelation_function(&self.interevent_times(), max_lag)
+    }
+
+    /// Summary statistics of the inter-event times.
+    #[must_use]
+    pub fn interevent_stats(&self) -> acf::SeriesStats {
+        acf::SeriesStats::from_series(&self.interevent_times())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_kind_accessors() {
+        assert_eq!(FlowKind::Arrival(2).station(), 2);
+        assert_eq!(FlowKind::Departure(1).station(), 1);
+        assert!(FlowKind::Arrival(0).label().contains("arrivals"));
+        assert!(FlowKind::Departure(0).label().contains("departures"));
+    }
+
+    #[test]
+    fn interevent_times_and_rate() {
+        let mut trace = FlowTrace::new(FlowKind::Arrival(0));
+        assert!(trace.is_empty());
+        assert_eq!(trace.rate(), 0.0);
+        for t in [0.0, 1.0, 3.0, 6.0] {
+            trace.record(t);
+        }
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace.interevent_times(), vec![1.0, 2.0, 3.0]);
+        assert!((trace.rate() - 0.5).abs() < 1e-12);
+        let stats = trace.interevent_stats();
+        assert!((stats.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn autocorrelation_of_periodic_flow() {
+        // Alternating short/long gaps give strong negative lag-1 ACF.
+        let mut trace = FlowTrace::new(FlowKind::Departure(1));
+        let mut t = 0.0;
+        for i in 0..400 {
+            t += if i % 2 == 0 { 0.1 } else { 1.9 };
+            trace.record(t);
+        }
+        let acf = trace.autocorrelation(3);
+        assert!(acf[0] < -0.9);
+        assert!(acf[1] > 0.9);
+    }
+}

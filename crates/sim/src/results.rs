@@ -1,0 +1,62 @@
+//! Aggregated simulation output.
+
+use crate::flows::FlowTrace;
+use mapqn_core::NetworkMetrics;
+
+/// Output of a simulation run: the usual steady-state metrics plus the
+/// recorded flow traces (when tracing was enabled) and basic run metadata.
+#[derive(Debug, Clone)]
+pub struct SimulationResults {
+    /// Estimated steady-state metrics (same shape as the analytical
+    /// solvers' output, so the experiment harness can put "measured" and
+    /// "model" values side by side).
+    pub metrics: NetworkMetrics,
+    /// Recorded flow traces: one arrival and one departure trace per
+    /// station, in station order (empty when tracing was disabled).
+    pub flow_traces: Vec<FlowTrace>,
+    /// Simulated time horizon after the warm-up period.
+    pub measured_time: f64,
+    /// Total number of service completions counted after warm-up.
+    pub total_completions: u64,
+    /// Mean end-to-end response time of a client interaction: the time from
+    /// leaving the reference station 0 until returning to it (the "client
+    /// response time" reported in Figure 3). `None` when no full passage was
+    /// observed.
+    pub end_to_end_response_time: Option<f64>,
+}
+
+impl SimulationResults {
+    /// Finds the recorded trace of a given flow, if tracing was enabled.
+    #[must_use]
+    pub fn trace(&self, kind: crate::flows::FlowKind) -> Option<&FlowTrace> {
+        self.flow_traces.iter().find(|t| t.kind == kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flows::FlowKind;
+
+    #[test]
+    fn trace_lookup() {
+        let results = SimulationResults {
+            metrics: NetworkMetrics {
+                throughput: vec![1.0],
+                utilization: vec![0.5],
+                mean_queue_length: vec![1.0],
+                response_time: vec![1.0],
+                queue_length_distribution: vec![vec![0.5, 0.5]],
+                system_throughput: 1.0,
+                system_response_time: 1.0,
+                population: 1,
+            },
+            flow_traces: vec![FlowTrace::new(FlowKind::Arrival(0))],
+            measured_time: 10.0,
+            total_completions: 10,
+            end_to_end_response_time: Some(1.0),
+        };
+        assert!(results.trace(FlowKind::Arrival(0)).is_some());
+        assert!(results.trace(FlowKind::Departure(0)).is_none());
+    }
+}

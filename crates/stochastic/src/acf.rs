@@ -1,0 +1,256 @@
+//! Empirical descriptors of a time series: moments and autocorrelation.
+//!
+//! These estimators are used (a) by the simulator in `mapqn-sim` to compute
+//! the autocorrelation of the flows marked in Figure 1 of the paper, and (b)
+//! by the tests of the MAP samplers to check that simulated traces reproduce
+//! the analytical descriptors of the generating process.
+
+/// Summary statistics of a series of non-negative values (inter-arrival
+/// times, service times, …).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesStats {
+    /// Number of observations.
+    pub count: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample variance (unbiased, `n - 1` denominator).
+    pub variance: f64,
+    /// Squared coefficient of variation `variance / mean^2`.
+    pub scv: f64,
+    /// Sample skewness (biased, moment estimator).
+    pub skewness: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl SeriesStats {
+    /// Computes summary statistics of `series`.
+    ///
+    /// Returns a zeroed struct for an empty series and a struct with zero
+    /// variance for a single observation.
+    #[must_use]
+    pub fn from_series(series: &[f64]) -> Self {
+        let count = series.len();
+        if count == 0 {
+            return Self {
+                count: 0,
+                mean: 0.0,
+                variance: 0.0,
+                scv: 0.0,
+                skewness: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        let mean = series.iter().sum::<f64>() / count as f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut m2 = 0.0;
+        let mut m3 = 0.0;
+        for &x in series {
+            min = min.min(x);
+            max = max.max(x);
+            let d = x - mean;
+            m2 += d * d;
+            m3 += d * d * d;
+        }
+        let variance = if count > 1 {
+            m2 / (count as f64 - 1.0)
+        } else {
+            0.0
+        };
+        let scv = if mean != 0.0 {
+            variance / (mean * mean)
+        } else {
+            0.0
+        };
+        let biased_var = m2 / count as f64;
+        let skewness = if biased_var > 0.0 {
+            (m3 / count as f64) / biased_var.powf(1.5)
+        } else {
+            0.0
+        };
+        Self {
+            count,
+            mean,
+            variance,
+            scv,
+            skewness,
+            min,
+            max,
+        }
+    }
+}
+
+/// Sample autocorrelation of `series` at the given `lag`.
+///
+/// Uses the standard biased estimator
+/// `rho(k) = sum_{i} (x_i - m)(x_{i+k} - m) / sum_i (x_i - m)^2`,
+/// which is the estimator plotted in the paper's Figure 1. Returns zero when
+/// the series is shorter than `lag + 2` or has zero variance.
+#[must_use]
+pub fn autocorrelation(series: &[f64], lag: usize) -> f64 {
+    let n = series.len();
+    if lag == 0 {
+        return 1.0;
+    }
+    if n < lag + 2 {
+        return 0.0;
+    }
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let mut denom = 0.0;
+    for &x in series {
+        let d = x - mean;
+        denom += d * d;
+    }
+    if denom <= 0.0 {
+        return 0.0;
+    }
+    let mut num = 0.0;
+    for i in 0..(n - lag) {
+        num += (series[i] - mean) * (series[i + lag] - mean);
+    }
+    num / denom
+}
+
+/// Sample autocorrelation function for lags `1..=max_lag` in a single pass
+/// over the centred series.
+#[must_use]
+pub fn autocorrelation_function(series: &[f64], max_lag: usize) -> Vec<f64> {
+    let n = series.len();
+    if n < 3 || max_lag == 0 {
+        return vec![0.0; max_lag];
+    }
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let centred: Vec<f64> = series.iter().map(|&x| x - mean).collect();
+    let denom: f64 = centred.iter().map(|d| d * d).sum();
+    if denom <= 0.0 {
+        return vec![0.0; max_lag];
+    }
+    let mut acf = Vec::with_capacity(max_lag);
+    for lag in 1..=max_lag {
+        if n <= lag + 1 {
+            acf.push(0.0);
+            continue;
+        }
+        let mut num = 0.0;
+        for i in 0..(n - lag) {
+            num += centred[i] * centred[i + lag];
+        }
+        acf.push(num / denom);
+    }
+    acf
+}
+
+/// Estimates the geometric decay rate of an empirical ACF by regressing
+/// `ln |rho(k)|` on `k` over the lags where the ACF is clearly above the
+/// noise floor. Returns `None` when fewer than two usable lags exist.
+#[must_use]
+pub fn estimate_decay_rate(acf: &[f64], noise_floor: f64) -> Option<f64> {
+    let points: Vec<(f64, f64)> = acf
+        .iter()
+        .enumerate()
+        .filter(|(_, &rho)| rho.abs() > noise_floor)
+        .map(|(k, &rho)| ((k + 1) as f64, rho.abs().ln()))
+        .collect();
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|(x, _)| x).sum();
+    let sy: f64 = points.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = points.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = points.iter().map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    Some(slope.exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapqn_linalg::approx_eq;
+
+    #[test]
+    fn stats_of_constant_series() {
+        let s = SeriesStats::from_series(&[2.0; 10]);
+        assert_eq!(s.count, 10);
+        assert!(approx_eq(s.mean, 2.0, 1e-12));
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.scv, 0.0);
+        assert_eq!(s.skewness, 0.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 2.0);
+    }
+
+    #[test]
+    fn stats_of_empty_and_single_series() {
+        let s = SeriesStats::from_series(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        let s = SeriesStats::from_series(&[5.0]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.variance, 0.0);
+    }
+
+    #[test]
+    fn stats_of_known_series() {
+        // Values 1..5: mean 3, variance 2.5 (unbiased), symmetric so zero skew.
+        let s = SeriesStats::from_series(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!(approx_eq(s.mean, 3.0, 1e-12));
+        assert!(approx_eq(s.variance, 2.5, 1e-12));
+        assert!(s.skewness.abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    fn acf_of_alternating_series_is_negative_at_lag_one() {
+        let series: Vec<f64> = (0..200).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let rho1 = autocorrelation(&series, 1);
+        assert!(rho1 < -0.9, "rho1 = {rho1}");
+        let rho2 = autocorrelation(&series, 2);
+        assert!(rho2 > 0.9, "rho2 = {rho2}");
+    }
+
+    #[test]
+    fn acf_lag_zero_is_one_and_short_series_is_zero() {
+        assert_eq!(autocorrelation(&[1.0, 2.0, 3.0], 0), 1.0);
+        assert_eq!(autocorrelation(&[1.0, 2.0], 5), 0.0);
+        assert_eq!(autocorrelation(&[1.0; 10], 1), 0.0);
+    }
+
+    #[test]
+    fn acf_function_matches_pointwise_estimator() {
+        let series: Vec<f64> = (0..500)
+            .map(|i| ((i as f64) * 0.37).sin() + 0.3 * ((i as f64) * 0.11).cos())
+            .collect();
+        let acf = autocorrelation_function(&series, 10);
+        for (k, &v) in acf.iter().enumerate() {
+            assert!(approx_eq(v, autocorrelation(&series, k + 1), 1e-12));
+        }
+        assert_eq!(autocorrelation_function(&[1.0], 3), vec![0.0, 0.0, 0.0]);
+        assert_eq!(autocorrelation_function(&[1.0, 2.0, 3.0], 0).len(), 0);
+    }
+
+    #[test]
+    fn decay_rate_of_geometric_acf_is_recovered() {
+        let gamma: f64 = 0.7;
+        let acf: Vec<f64> = (1..=20).map(|k| 0.5 * gamma.powi(k)).collect();
+        let est = estimate_decay_rate(&acf, 1e-6).unwrap();
+        assert!((est - gamma).abs() < 1e-6, "estimated {est}");
+    }
+
+    #[test]
+    fn decay_rate_returns_none_for_noise() {
+        let acf = vec![1e-9, -1e-9, 1e-9];
+        assert!(estimate_decay_rate(&acf, 1e-6).is_none());
+        assert!(estimate_decay_rate(&[0.5], 1e-6).is_none());
+    }
+}

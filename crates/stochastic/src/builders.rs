@@ -1,0 +1,265 @@
+//! Named constructors for the MAPs used throughout the paper's experiments.
+//!
+//! * [`exponential_map`] — Poisson / exponential service (the product-form
+//!   baseline);
+//! * [`erlang_map`] — low-variability service (SCV < 1);
+//! * [`hyperexp_map`] / [`hyperexp2_balanced`] — high-variability renewal
+//!   service (SCV > 1, no autocorrelation);
+//! * [`mmpp2`] — the Markov-Modulated Poisson Process with two states used in
+//!   Figure 6 of the paper;
+//! * [`map2_correlated`] — the two-phase MAP with hyperexponential marginal
+//!   and geometrically decaying autocorrelation used by the fitting routine
+//!   (this is the "CV = 4, gamma = 0.5" style process of Figure 8).
+
+use crate::map::Map;
+use crate::ph::PhaseType;
+use crate::{Result, StochasticError};
+use mapqn_linalg::DMatrix;
+
+/// Exponential (Poisson) process with the given event `rate`, as a 1-phase
+/// MAP.
+///
+/// # Errors
+/// Returns an error when `rate` is not strictly positive.
+pub fn exponential_map(rate: f64) -> Result<Map> {
+    if rate <= 0.0 || !rate.is_finite() {
+        return Err(StochasticError::InvalidMap(format!(
+            "exponential rate must be positive and finite, got {rate}"
+        )));
+    }
+    Map::new(
+        DMatrix::from_row_slice(1, 1, &[-rate]),
+        DMatrix::from_row_slice(1, 1, &[rate]),
+    )
+}
+
+/// Erlang-`k` renewal process with the given `mean` inter-event time.
+///
+/// # Errors
+/// Returns an error when `k == 0` or `mean <= 0`.
+pub fn erlang_map(k: usize, mean: f64) -> Result<Map> {
+    if k == 0 {
+        return Err(StochasticError::InvalidMap(
+            "Erlang needs at least one stage".into(),
+        ));
+    }
+    if mean <= 0.0 {
+        return Err(StochasticError::InvalidMap(
+            "Erlang mean must be positive".into(),
+        ));
+    }
+    PhaseType::erlang(k, mean).to_map()
+}
+
+/// Two-phase hyperexponential renewal process: with probability `p` an
+/// inter-event time is Exp(`rate1`), otherwise Exp(`rate2`). Consecutive
+/// samples are independent.
+///
+/// # Errors
+/// Returns an error for invalid probabilities or rates.
+pub fn hyperexp_map(p: f64, rate1: f64, rate2: f64) -> Result<Map> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(StochasticError::InvalidMap(
+            "mixing probability must be in [0, 1]".into(),
+        ));
+    }
+    if rate1 <= 0.0 || rate2 <= 0.0 {
+        return Err(StochasticError::InvalidMap(
+            "hyperexponential rates must be positive".into(),
+        ));
+    }
+    PhaseType::hyperexponential2(p, rate1, rate2).to_map()
+}
+
+/// Balanced-means two-phase hyperexponential with the given `mean` and
+/// squared coefficient of variation `scv >= 1`, returned as `(p, rate1,
+/// rate2)`.
+///
+/// The balanced-means condition `p / rate1 = (1 - p) / rate2` pins down the
+/// remaining degree of freedom of the H2 family; it is the standard choice
+/// when only two moments are specified.
+///
+/// # Errors
+/// Returns [`StochasticError::Infeasible`] when `scv < 1` (an H2 cannot have
+/// SCV below one) or the mean is not positive.
+pub fn hyperexp2_balanced(mean: f64, scv: f64) -> Result<(f64, f64, f64)> {
+    if mean <= 0.0 {
+        return Err(StochasticError::Infeasible(
+            "mean must be positive".into(),
+        ));
+    }
+    if scv < 1.0 - 1e-12 {
+        return Err(StochasticError::Infeasible(format!(
+            "a hyperexponential cannot have SCV {scv} < 1"
+        )));
+    }
+    if (scv - 1.0).abs() < 1e-12 {
+        // Degenerate case: plain exponential; report p = 1 on a single rate.
+        return Ok((1.0, 1.0 / mean, 1.0 / mean));
+    }
+    let p = 0.5 * (1.0 + ((scv - 1.0) / (scv + 1.0)).sqrt());
+    let rate1 = 2.0 * p / mean;
+    let rate2 = 2.0 * (1.0 - p) / mean;
+    Ok((p, rate1, rate2))
+}
+
+/// Markov-Modulated Poisson Process with two modulating states.
+///
+/// While the modulating chain is in state 1 events are emitted at rate
+/// `lambda1`, in state 2 at rate `lambda2`; the chain jumps 1 → 2 at rate
+/// `r12` and 2 → 1 at rate `r21`. This is exactly the service process used
+/// in the illustrative CTMC of Figure 6 of the paper.
+///
+/// # Errors
+/// Returns an error for non-positive rates.
+pub fn mmpp2(lambda1: f64, lambda2: f64, r12: f64, r21: f64) -> Result<Map> {
+    for (name, v) in [
+        ("lambda1", lambda1),
+        ("lambda2", lambda2),
+        ("r12", r12),
+        ("r21", r21),
+    ] {
+        if v <= 0.0 || !v.is_finite() {
+            return Err(StochasticError::InvalidMap(format!(
+                "MMPP(2) parameter {name} must be positive and finite, got {v}"
+            )));
+        }
+    }
+    let d0 = DMatrix::from_row_slice(
+        2,
+        2,
+        &[-(lambda1 + r12), r12, r21, -(lambda2 + r21)],
+    );
+    let d1 = DMatrix::from_row_slice(2, 2, &[lambda1, 0.0, 0.0, lambda2]);
+    Map::new(d0, d1)
+}
+
+/// Correlated MAP(2) with a two-phase hyperexponential marginal
+/// `(p, rate1, rate2)` and geometric autocorrelation decay rate `gamma`.
+///
+/// Construction: `D0 = diag(-rate1, -rate2)` and
+/// `D1 = (-D0) (gamma I + (1 - gamma) 1 pi)` with `pi = (p, 1 - p)`.
+/// The embedded phase chain at completion epochs is then
+/// `P = gamma I + (1 - gamma) 1 pi`, whose non-unit eigenvalue is exactly
+/// `gamma`, so the autocorrelation function of consecutive inter-event times
+/// decays geometrically at rate `gamma` while the marginal distribution stays
+/// the specified hyperexponential. Setting `gamma = 0` recovers the renewal
+/// hyperexponential.
+///
+/// # Errors
+/// Returns an error when `gamma` is outside `[0, 1)`, `p` outside `[0, 1]`,
+/// or a rate is not positive.
+pub fn map2_correlated(p: f64, rate1: f64, rate2: f64, gamma: f64) -> Result<Map> {
+    if !(0.0..1.0).contains(&gamma) {
+        return Err(StochasticError::InvalidMap(format!(
+            "autocorrelation decay rate gamma must be in [0, 1), got {gamma}"
+        )));
+    }
+    if !(0.0..=1.0).contains(&p) {
+        return Err(StochasticError::InvalidMap(
+            "mixing probability must be in [0, 1]".into(),
+        ));
+    }
+    if rate1 <= 0.0 || rate2 <= 0.0 {
+        return Err(StochasticError::InvalidMap(
+            "rates must be positive".into(),
+        ));
+    }
+    let d0 = DMatrix::from_row_slice(2, 2, &[-rate1, 0.0, 0.0, -rate2]);
+    let pi = [p, 1.0 - p];
+    let rates = [rate1, rate2];
+    let mut d1 = DMatrix::zeros(2, 2);
+    for i in 0..2 {
+        for j in 0..2 {
+            let kronecker = if i == j { 1.0 } else { 0.0 };
+            d1[(i, j)] = rates[i] * (gamma * kronecker + (1.0 - gamma) * pi[j]);
+        }
+    }
+    Map::new(d0, d1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapqn_linalg::approx_eq;
+
+    #[test]
+    fn exponential_map_descriptors() {
+        let m = exponential_map(2.5).unwrap();
+        assert!(approx_eq(m.rate().unwrap(), 2.5, 1e-12));
+        assert!(approx_eq(m.scv().unwrap(), 1.0, 1e-12));
+        assert!(exponential_map(0.0).is_err());
+        assert!(exponential_map(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn erlang_map_reduces_variability() {
+        let m = erlang_map(4, 2.0).unwrap();
+        assert!(approx_eq(m.mean().unwrap(), 2.0, 1e-10));
+        assert!(approx_eq(m.scv().unwrap(), 0.25, 1e-10));
+        assert!(m.autocorrelation(1).unwrap().abs() < 1e-9);
+        assert!(erlang_map(0, 1.0).is_err());
+        assert!(erlang_map(2, -1.0).is_err());
+    }
+
+    #[test]
+    fn hyperexp_map_is_renewal_with_high_scv() {
+        let m = hyperexp_map(0.1, 10.0, 0.2).unwrap();
+        assert!(m.scv().unwrap() > 1.0);
+        assert!(m.autocorrelation(1).unwrap().abs() < 1e-9);
+        assert!(hyperexp_map(1.5, 1.0, 1.0).is_err());
+        assert!(hyperexp_map(0.5, -1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn balanced_h2_matches_requested_moments() {
+        let mean = 2.0;
+        let scv = 4.0;
+        let (p, r1, r2) = hyperexp2_balanced(mean, scv).unwrap();
+        let m = hyperexp_map(p, r1, r2).unwrap();
+        assert!(approx_eq(m.mean().unwrap(), mean, 1e-9));
+        assert!(approx_eq(m.scv().unwrap(), scv, 1e-9));
+        // Balanced means property.
+        assert!(approx_eq(p / r1, (1.0 - p) / r2, 1e-9));
+    }
+
+    #[test]
+    fn balanced_h2_edge_cases() {
+        assert!(hyperexp2_balanced(-1.0, 2.0).is_err());
+        assert!(hyperexp2_balanced(1.0, 0.5).is_err());
+        // SCV exactly 1 degenerates to an exponential.
+        let (p, r1, _r2) = hyperexp2_balanced(2.0, 1.0).unwrap();
+        assert_eq!(p, 1.0);
+        assert!(approx_eq(r1, 0.5, 1e-12));
+    }
+
+    #[test]
+    fn mmpp2_is_a_valid_bursty_map() {
+        let m = mmpp2(10.0, 0.5, 0.1, 0.05).unwrap();
+        // Slow modulation with very different rates => bursty, correlated.
+        assert!(m.scv().unwrap() > 1.0);
+        assert!(m.autocorrelation(1).unwrap() > 0.05);
+        assert!(mmpp2(0.0, 1.0, 1.0, 1.0).is_err());
+        assert!(mmpp2(1.0, 1.0, 1.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn map2_correlated_hits_designed_gamma_and_marginal() {
+        let (p, r1, r2) = hyperexp2_balanced(1.0, 4.0).unwrap();
+        let m = map2_correlated(p, r1, r2, 0.5).unwrap();
+        assert!(approx_eq(m.mean().unwrap(), 1.0, 1e-9));
+        assert!(approx_eq(m.scv().unwrap(), 4.0, 1e-9));
+        assert!(approx_eq(m.acf_decay_rate().unwrap(), 0.5, 1e-9));
+        // gamma = 0 recovers the renewal process.
+        let renewal = map2_correlated(p, r1, r2, 0.0).unwrap();
+        assert!(renewal.autocorrelation(1).unwrap().abs() < 1e-10);
+    }
+
+    #[test]
+    fn map2_correlated_rejects_bad_parameters() {
+        assert!(map2_correlated(0.5, 1.0, 1.0, 1.0).is_err());
+        assert!(map2_correlated(0.5, 1.0, 1.0, -0.1).is_err());
+        assert!(map2_correlated(1.5, 1.0, 1.0, 0.5).is_err());
+        assert!(map2_correlated(0.5, 0.0, 1.0, 0.5).is_err());
+    }
+}

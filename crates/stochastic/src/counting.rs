@@ -1,0 +1,136 @@
+//! Second-order descriptors of the cumulative process: indices of dispersion.
+//!
+//! Besides the lag-k autocorrelation coefficients, the burstiness of a point
+//! process is commonly summarized by the **index of dispersion for
+//! intervals** (IDI): `J_k = Var(X_1 + … + X_k) / (k · E[X]^2)`. For a
+//! renewal process `J_k` equals the squared coefficient of variation for all
+//! `k`; positive autocorrelation makes `J_k` grow with `k`, and its limit
+//! `J_∞ = SCV · (1 + 2 Σ_{j≥1} ρ_j)` is a standard scalar measure of
+//! long-range burstiness. These descriptors are used by the experiment
+//! harnesses to characterize fitted service processes and measured traces on
+//! a common scale.
+
+use crate::acf;
+use crate::map::Map;
+use crate::Result;
+
+/// Index of dispersion for intervals `J_k` of a MAP, for `k = 1..=max_k`.
+///
+/// Computed exactly from the interval variance and the lag-j autocovariances:
+/// `Var(S_k) = k Var(X) + 2 Σ_{j=1}^{k-1} (k - j) Cov(X_0, X_j)`.
+///
+/// # Errors
+/// Propagates numerical failures from the MAP descriptor computations.
+pub fn idi_map(map: &Map, max_k: usize) -> Result<Vec<f64>> {
+    let mean = map.mean()?;
+    let variance = map.variance()?;
+    let acf = map.autocorrelation_function(max_k.saturating_sub(1))?;
+    Ok(idi_from_descriptors(mean, variance, &acf, max_k))
+}
+
+/// Index of dispersion for intervals estimated from an empirical series of
+/// inter-event times.
+#[must_use]
+pub fn idi_series(series: &[f64], max_k: usize) -> Vec<f64> {
+    let stats = acf::SeriesStats::from_series(series);
+    if stats.count < 2 || stats.mean == 0.0 {
+        return vec![0.0; max_k];
+    }
+    let rho = acf::autocorrelation_function(series, max_k.saturating_sub(1));
+    idi_from_descriptors(stats.mean, stats.variance, &rho, max_k)
+}
+
+/// Shared IDI computation from (mean, variance, autocorrelation function).
+fn idi_from_descriptors(mean: f64, variance: f64, acf: &[f64], max_k: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(max_k);
+    for k in 1..=max_k {
+        let mut var_sum = k as f64 * variance;
+        for j in 1..k {
+            let rho_j = acf.get(j - 1).copied().unwrap_or(0.0);
+            var_sum += 2.0 * (k - j) as f64 * rho_j * variance;
+        }
+        out.push(var_sum / (k as f64 * mean * mean));
+    }
+    out
+}
+
+/// Limiting index of dispersion `J_∞ = SCV (1 + 2 Σ_j ρ_j)`, approximated by
+/// truncating the autocorrelation sum at `truncation` lags.
+///
+/// # Errors
+/// Propagates numerical failures from the MAP descriptor computations.
+pub fn limiting_idi_map(map: &Map, truncation: usize) -> Result<f64> {
+    let scv = map.scv()?;
+    let acf = map.autocorrelation_function(truncation)?;
+    Ok(scv * (1.0 + 2.0 * acf.iter().sum::<f64>()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{exponential_map, hyperexp2_balanced, map2_correlated};
+    use mapqn_linalg::approx_eq;
+
+    #[test]
+    fn idi_of_poisson_process_is_one_at_every_k() {
+        let map = exponential_map(3.0).unwrap();
+        let idi = idi_map(&map, 10).unwrap();
+        for (k, &j) in idi.iter().enumerate() {
+            assert!(approx_eq(j, 1.0, 1e-9), "J_{} = {j}", k + 1);
+        }
+        assert!(approx_eq(limiting_idi_map(&map, 50).unwrap(), 1.0, 1e-8));
+    }
+
+    #[test]
+    fn idi_of_renewal_process_is_flat_at_scv() {
+        let (p, r1, r2) = hyperexp2_balanced(1.0, 4.0).unwrap();
+        let map = map2_correlated(p, r1, r2, 0.0).unwrap();
+        let idi = idi_map(&map, 8).unwrap();
+        for &j in &idi {
+            assert!(approx_eq(j, 4.0, 1e-7), "renewal IDI should equal the SCV, got {j}");
+        }
+    }
+
+    #[test]
+    fn idi_grows_with_k_for_positively_correlated_map() {
+        let (p, r1, r2) = hyperexp2_balanced(1.0, 4.0).unwrap();
+        let map = map2_correlated(p, r1, r2, 0.6).unwrap();
+        let idi = idi_map(&map, 20).unwrap();
+        assert!(idi[0] < idi[5]);
+        assert!(idi[5] < idi[19]);
+        // The limiting value exceeds the SCV and upper-bounds the finite-k
+        // values.
+        let limit = limiting_idi_map(&map, 500).unwrap();
+        assert!(limit > map.scv().unwrap());
+        assert!(idi[19] <= limit + 1e-6);
+    }
+
+    #[test]
+    fn empirical_idi_matches_analytical_for_simulated_trace() {
+        use crate::sampler::MapSampler;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let (p, r1, r2) = hyperexp2_balanced(1.0, 3.0).unwrap();
+        let map = map2_correlated(p, r1, r2, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut sampler = MapSampler::new(&map, &mut rng);
+        let trace = sampler.sample_intervals(80_000, &mut rng);
+        let empirical = idi_series(&trace, 5);
+        let analytical = idi_map(&map, 5).unwrap();
+        for k in 0..5 {
+            assert!(
+                (empirical[k] - analytical[k]).abs() / analytical[k] < 0.15,
+                "J_{}: empirical {} vs analytical {}",
+                k + 1,
+                empirical[k],
+                analytical[k]
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_return_zeros() {
+        assert_eq!(idi_series(&[], 3), vec![0.0, 0.0, 0.0]);
+        assert_eq!(idi_series(&[1.0], 2), vec![0.0, 0.0]);
+    }
+}

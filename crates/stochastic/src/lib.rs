@@ -1,0 +1,115 @@
+//! # mapqn-stochastic
+//!
+//! Markovian point processes for the `mapqn` workspace: phase-type (PH)
+//! distributions, Markovian Arrival Processes (MAPs) and the special cases
+//! used throughout the paper (exponential, Erlang, hyperexponential service,
+//! MMPP(2) modulation).
+//!
+//! A MAP is described by two matrices `(D0, D1)`:
+//!
+//! * `D0` holds the rates of *hidden* transitions (phase changes without a
+//!   service completion / arrival) and the negative total rates on its
+//!   diagonal;
+//! * `D1` holds the rates of transitions that *complete* a service (or emit
+//!   an arrival), possibly changing phase at the same time;
+//! * `D = D0 + D1` is the generator of the phase process.
+//!
+//! This state-space description can express general service-time
+//! distributions (hyperexponential, Erlang, Coxian, …) and — crucially for
+//! the paper — *temporal dependence*: by choosing how phases persist across
+//! consecutive completions, consecutive service times become autocorrelated,
+//! which is how burstiness enters the queueing model.
+//!
+//! The crate provides:
+//!
+//! * [`Map`] — representation, validation and exact descriptors (moments,
+//!   squared coefficient of variation, skewness, lag-k autocorrelation,
+//!   autocorrelation decay rate);
+//! * [`PhaseType`] — PH distributions with moment formulas and samplers;
+//! * [`builders`] — named constructors (exponential, Erlang-k,
+//!   hyperexponential, MMPP(2), correlated MAP(2));
+//! * [`fit`] — fitting a MAP(2) to a mean, SCV, (optional) skewness and an
+//!   autocorrelation decay rate, the parameterization used by the paper's
+//!   random experiments (Table 1) and case study (Figure 8);
+//! * [`sampler`] — exact simulation of MAP/PH processes (used by
+//!   `mapqn-sim` to play the role of the measured testbed);
+//! * [`acf`] — empirical moment and autocorrelation estimators for
+//!   simulated traces (used to regenerate Figure 1);
+//! * [`random`] — random MAP(2) generation for the Table 1 experiments.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod acf;
+pub mod builders;
+pub mod counting;
+pub mod fit;
+pub mod map;
+pub mod ph;
+pub mod random;
+pub mod sampler;
+
+pub use acf::{autocorrelation, SeriesStats};
+pub use counting::{idi_map, idi_series, limiting_idi_map};
+pub use builders::{
+    erlang_map, exponential_map, hyperexp2_balanced, hyperexp_map, map2_correlated, mmpp2,
+};
+pub use fit::{fit_map2, Map2FitSpec};
+pub use map::Map;
+pub use ph::PhaseType;
+pub use random::{random_map2, RandomMap2Spec};
+pub use sampler::{MapSampler, PhSampler};
+
+/// Error type for MAP / PH construction and analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StochasticError {
+    /// The `(D0, D1)` pair is not a valid MAP (wrong signs, inconsistent row
+    /// sums, wrong shapes, …). The message says which check failed.
+    InvalidMap(String),
+    /// The `(alpha, T)` pair is not a valid PH distribution.
+    InvalidPhaseType(String),
+    /// A fitting routine was asked for an infeasible target (e.g. SCV < the
+    /// minimum achievable with the requested number of phases).
+    Infeasible(String),
+    /// An underlying linear-algebra operation failed.
+    Linalg(mapqn_linalg::LinalgError),
+}
+
+impl std::fmt::Display for StochasticError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StochasticError::InvalidMap(msg) => write!(f, "invalid MAP: {msg}"),
+            StochasticError::InvalidPhaseType(msg) => write!(f, "invalid PH distribution: {msg}"),
+            StochasticError::Infeasible(msg) => write!(f, "infeasible fitting target: {msg}"),
+            StochasticError::Linalg(err) => write!(f, "linear algebra error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for StochasticError {}
+
+impl From<mapqn_linalg::LinalgError> for StochasticError {
+    fn from(err: mapqn_linalg::LinalgError) -> Self {
+        StochasticError::Linalg(err)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, StochasticError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_mentions_the_failure() {
+        let e = StochasticError::InvalidMap("negative rate".into());
+        assert!(e.to_string().contains("negative rate"));
+        let e = StochasticError::InvalidPhaseType("bad alpha".into());
+        assert!(e.to_string().contains("bad alpha"));
+        let e = StochasticError::Infeasible("scv too small".into());
+        assert!(e.to_string().contains("scv"));
+        let e: StochasticError = mapqn_linalg::LinalgError::InvalidArgument("x").into();
+        assert!(e.to_string().contains("linear algebra"));
+    }
+}

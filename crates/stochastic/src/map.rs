@@ -1,0 +1,510 @@
+//! Markovian Arrival Processes (MAPs).
+//!
+//! The [`Map`] type stores the `(D0, D1)` representation and exposes the
+//! exact descriptors the paper parameterizes its experiments with: mean,
+//! squared coefficient of variation, skewness and the lag-k autocorrelation
+//! coefficients of the stationary inter-event (service-time) sequence,
+//! together with the geometric decay rate of the autocorrelation function.
+
+use crate::{Result, StochasticError};
+use mapqn_linalg::{lu, DMatrix, DVector, EPS};
+
+/// A Markovian Arrival Process described by `(D0, D1)`.
+///
+/// * `D0[i][j]`, `i != j`: rate of a hidden transition from phase `i` to `j`
+///   (no event is emitted);
+/// * `D0[i][i]`: minus the total outgoing rate of phase `i`;
+/// * `D1[i][j]`: rate of a transition from phase `i` to `j` that emits an
+///   event (a service completion when the MAP models a service process);
+/// * `D0 + D1` is an irreducible CTMC generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Map {
+    d0: DMatrix,
+    d1: DMatrix,
+}
+
+impl Map {
+    /// Creates and validates a MAP from its two rate matrices.
+    ///
+    /// # Errors
+    /// Returns [`StochasticError::InvalidMap`] when the matrices do not form
+    /// a valid MAP (shape mismatch, sign violations, row sums of `D0 + D1`
+    /// different from zero, or zero total event rate).
+    pub fn new(d0: DMatrix, d1: DMatrix) -> Result<Self> {
+        let n = d0.nrows();
+        if n == 0 {
+            return Err(StochasticError::InvalidMap(
+                "MAP needs at least one phase".into(),
+            ));
+        }
+        if !d0.is_square() || d1.shape() != (n, n) {
+            return Err(StochasticError::InvalidMap(format!(
+                "D0 is {}x{} and D1 is {}x{}; both must be square of the same order",
+                d0.nrows(),
+                d0.ncols(),
+                d1.nrows(),
+                d1.ncols()
+            )));
+        }
+        for i in 0..n {
+            if d0[(i, i)] >= 0.0 {
+                return Err(StochasticError::InvalidMap(format!(
+                    "D0[{i},{i}] = {} must be strictly negative",
+                    d0[(i, i)]
+                )));
+            }
+            for j in 0..n {
+                if i != j && d0[(i, j)] < -EPS {
+                    return Err(StochasticError::InvalidMap(format!(
+                        "D0[{i},{j}] = {} must be non-negative",
+                        d0[(i, j)]
+                    )));
+                }
+                if d1[(i, j)] < -EPS {
+                    return Err(StochasticError::InvalidMap(format!(
+                        "D1[{i},{j}] = {} must be non-negative",
+                        d1[(i, j)]
+                    )));
+                }
+            }
+            let row_sum = d0.row_sum(i) + d1.row_sum(i);
+            if row_sum.abs() > 1e-8 {
+                return Err(StochasticError::InvalidMap(format!(
+                    "row {i} of D0 + D1 sums to {row_sum}, expected 0"
+                )));
+            }
+        }
+        let map = Self { d0, d1 };
+        // The total event rate must be positive, otherwise the process never
+        // emits events and all descriptors are undefined.
+        let rate = map.rate()?;
+        if rate <= 0.0 || !rate.is_finite() {
+            return Err(StochasticError::InvalidMap(format!(
+                "MAP has non-positive fundamental rate {rate}"
+            )));
+        }
+        Ok(map)
+    }
+
+    /// Hidden-transition matrix `D0`.
+    #[must_use]
+    pub fn d0(&self) -> &DMatrix {
+        &self.d0
+    }
+
+    /// Event-transition matrix `D1`.
+    #[must_use]
+    pub fn d1(&self) -> &DMatrix {
+        &self.d1
+    }
+
+    /// Number of phases.
+    #[must_use]
+    pub fn phases(&self) -> usize {
+        self.d0.nrows()
+    }
+
+    /// Generator `D = D0 + D1` of the phase process.
+    #[must_use]
+    pub fn generator(&self) -> DMatrix {
+        self.d0
+            .add(&self.d1)
+            .expect("D0 and D1 have the same shape by construction")
+    }
+
+    /// Per-phase total event (completion) rate: the row sums of `D1`.
+    ///
+    /// When the MAP models a service process, entry `i` is the instantaneous
+    /// service-completion rate while the server is busy in phase `i`.
+    #[must_use]
+    pub fn completion_rates(&self) -> DVector {
+        self.d1.row_sums()
+    }
+
+    /// Stationary distribution `theta` of the phase process (`theta D = 0`,
+    /// `theta 1 = 1`).
+    ///
+    /// # Errors
+    /// Returns an error when the generator is reducible to the point that
+    /// the linear system is singular.
+    pub fn phase_stationary(&self) -> Result<DVector> {
+        let n = self.phases();
+        let d = self.generator();
+        // Solve theta * D = 0 with the normalization theta * 1 = 1 by
+        // replacing the last column of D^T with ones.
+        let mut a = d.transpose();
+        for j in 0..n {
+            a[(n - 1, j)] = 1.0;
+        }
+        let mut b = DVector::zeros(n);
+        b[n - 1] = 1.0;
+        let mut theta = lu::solve(&a, &b).map_err(|e| {
+            StochasticError::InvalidMap(format!("phase process generator is singular: {e}"))
+        })?;
+        theta.clamp_small_negatives(1e-9);
+        Ok(theta)
+    }
+
+    /// Fundamental rate `lambda = theta D1 1`: the long-run number of events
+    /// per unit time.
+    ///
+    /// # Errors
+    /// Propagates failures of the stationary solve.
+    pub fn rate(&self) -> Result<f64> {
+        let theta = self.phase_stationary()?;
+        Ok(theta.dot(&self.d1.row_sums())?)
+    }
+
+    /// Embedded transition matrix at event epochs: `P = (-D0)^{-1} D1`.
+    ///
+    /// # Errors
+    /// Propagates numerical failures from the inversion of `-D0` (always
+    /// invertible for a valid MAP).
+    pub fn embedded(&self) -> Result<DMatrix> {
+        let inv = lu::invert(&self.d0.scaled(-1.0))?;
+        Ok(inv.matmul(&self.d1)?)
+    }
+
+    /// Stationary distribution of the embedded chain at event epochs:
+    /// `pi_e = theta D1 / lambda`.
+    ///
+    /// # Errors
+    /// Propagates failures of the stationary solve.
+    pub fn embedded_stationary(&self) -> Result<DVector> {
+        let theta = self.phase_stationary()?;
+        let lambda = theta.dot(&self.d1.row_sums())?;
+        let mut pi = self.d1.vecmat(&theta)?;
+        pi.scale(1.0 / lambda);
+        pi.clamp_small_negatives(1e-9);
+        Ok(pi)
+    }
+
+    /// Raw moment `E[X^k]` of the stationary inter-event time:
+    /// `k! pi_e (-D0)^{-k} 1`.
+    ///
+    /// # Errors
+    /// Propagates numerical failures.
+    pub fn moment(&self, k: u32) -> Result<f64> {
+        if k == 0 {
+            return Ok(1.0);
+        }
+        let pi = self.embedded_stationary()?;
+        let inv = lu::invert(&self.d0.scaled(-1.0))?;
+        let mut acc = inv.clone();
+        for _ in 1..k {
+            acc = acc.matmul(&inv)?;
+        }
+        let v = acc.matvec(&DVector::ones(self.phases()))?;
+        let mut factorial = 1.0;
+        for i in 2..=k {
+            factorial *= f64::from(i);
+        }
+        Ok(factorial * pi.dot(&v)?)
+    }
+
+    /// Mean inter-event time `E[X] = 1 / lambda`.
+    ///
+    /// # Errors
+    /// Propagates numerical failures.
+    pub fn mean(&self) -> Result<f64> {
+        self.moment(1)
+    }
+
+    /// Variance of the inter-event time.
+    ///
+    /// # Errors
+    /// Propagates numerical failures.
+    pub fn variance(&self) -> Result<f64> {
+        let m1 = self.moment(1)?;
+        Ok(self.moment(2)? - m1 * m1)
+    }
+
+    /// Squared coefficient of variation of the inter-event time.
+    ///
+    /// # Errors
+    /// Propagates numerical failures.
+    pub fn scv(&self) -> Result<f64> {
+        let m1 = self.moment(1)?;
+        Ok(self.variance()? / (m1 * m1))
+    }
+
+    /// Skewness of the inter-event time.
+    ///
+    /// # Errors
+    /// Propagates numerical failures.
+    pub fn skewness(&self) -> Result<f64> {
+        let m1 = self.moment(1)?;
+        let m2 = self.moment(2)?;
+        let m3 = self.moment(3)?;
+        let var = m2 - m1 * m1;
+        Ok((m3 - 3.0 * m1 * var - m1 * m1 * m1) / var.powf(1.5))
+    }
+
+    /// Lag-`k` autocorrelation coefficient of the stationary inter-event
+    /// sequence:
+    ///
+    /// `rho(k) = (E[X_0 X_k] - m1^2) / (m2 - m1^2)` with
+    /// `E[X_0 X_k] = pi_e (-D0)^{-1} P^k (-D0)^{-1} 1`.
+    ///
+    /// # Errors
+    /// Propagates numerical failures. `k = 0` returns 1 by definition.
+    pub fn autocorrelation(&self, k: u32) -> Result<f64> {
+        if k == 0 {
+            return Ok(1.0);
+        }
+        let m1 = self.moment(1)?;
+        let m2 = self.moment(2)?;
+        let var = m2 - m1 * m1;
+        if var <= 0.0 {
+            // Deterministic inter-event times (only possible in the limit);
+            // correlation is undefined, return 0 which is the convention used
+            // by the experiment harnesses.
+            return Ok(0.0);
+        }
+        let pi = self.embedded_stationary()?;
+        let inv = lu::invert(&self.d0.scaled(-1.0))?;
+        let p = self.embedded()?;
+        let pk = p.pow(k)?;
+        // pi * inv * P^k * inv * 1
+        let left = inv.vecmat(&pi)?;
+        let mid = pk.vecmat(&left)?;
+        let right = inv.matvec(&DVector::ones(self.phases()))?;
+        let cross = mid.dot(&right)?;
+        Ok((cross - m1 * m1) / var)
+    }
+
+    /// Autocorrelation coefficients for lags `1..=max_lag`.
+    ///
+    /// More efficient than calling [`Map::autocorrelation`] in a loop because
+    /// the embedded matrix powers are accumulated incrementally.
+    ///
+    /// # Errors
+    /// Propagates numerical failures.
+    pub fn autocorrelation_function(&self, max_lag: usize) -> Result<Vec<f64>> {
+        let m1 = self.moment(1)?;
+        let m2 = self.moment(2)?;
+        let var = m2 - m1 * m1;
+        let mut acf = Vec::with_capacity(max_lag);
+        if var <= 0.0 {
+            acf.resize(max_lag, 0.0);
+            return Ok(acf);
+        }
+        let pi = self.embedded_stationary()?;
+        let inv = lu::invert(&self.d0.scaled(-1.0))?;
+        let p = self.embedded()?;
+        let right = inv.matvec(&DVector::ones(self.phases()))?;
+        // left_k = pi * inv * P^k, accumulated one multiplication per lag.
+        let mut left = inv.vecmat(&pi)?;
+        for _ in 0..max_lag {
+            left = p.vecmat(&left)?;
+            let cross = left.dot(&right)?;
+            acf.push((cross - m1 * m1) / var);
+        }
+        Ok(acf)
+    }
+
+    /// Estimates the geometric decay rate `gamma` of the autocorrelation
+    /// function, i.e. the value such that `rho(k) ≈ c * gamma^k` for large
+    /// `k`. For a MAP(2) this equals the non-unit eigenvalue of the embedded
+    /// matrix `P` whenever the ACF is non-degenerate.
+    ///
+    /// Returns `0` for renewal processes (ACF identically zero).
+    ///
+    /// # Errors
+    /// Propagates numerical failures.
+    pub fn acf_decay_rate(&self) -> Result<f64> {
+        let p = self.embedded()?;
+        if self.phases() == 2 {
+            // The eigenvalues of a 2x2 stochastic matrix are 1 and
+            // trace(P) - 1; the latter governs the geometric ACF decay.
+            let gamma = p[(0, 0)] + p[(1, 1)] - 1.0;
+            let acf1 = self.autocorrelation(1)?;
+            if acf1.abs() < 1e-12 {
+                return Ok(0.0);
+            }
+            return Ok(gamma);
+        }
+        // General case: ratio of successive ACF values at a moderate lag.
+        let acf = self.autocorrelation_function(24)?;
+        for k in (8..acf.len() - 1).rev() {
+            if acf[k].abs() > 1e-10 && acf[k + 1].abs() > 1e-12 {
+                let ratio = acf[k + 1] / acf[k];
+                if ratio.is_finite() && ratio.abs() < 1.0 {
+                    return Ok(ratio);
+                }
+            }
+        }
+        Ok(0.0)
+    }
+
+    /// Returns a copy of the MAP rescaled in time so that its mean
+    /// inter-event time equals `new_mean` (all rates are multiplied by
+    /// `old_mean / new_mean`). Dimensionless descriptors (SCV, skewness,
+    /// autocorrelation) are unchanged.
+    ///
+    /// # Errors
+    /// Propagates numerical failures; `new_mean` must be positive.
+    pub fn scaled_to_mean(&self, new_mean: f64) -> Result<Map> {
+        if new_mean <= 0.0 {
+            return Err(StochasticError::InvalidMap(
+                "target mean must be positive".into(),
+            ));
+        }
+        let factor = self.mean()? / new_mean;
+        Map::new(self.d0.scaled(factor), self.d1.scaled(factor))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapqn_linalg::approx_eq;
+
+    /// Poisson process with rate 3 expressed as a 1-phase MAP.
+    fn poisson(rate: f64) -> Map {
+        Map::new(
+            DMatrix::from_row_slice(1, 1, &[-rate]),
+            DMatrix::from_row_slice(1, 1, &[rate]),
+        )
+        .unwrap()
+    }
+
+    /// The correlated MAP(2) used in several tests: hyperexponential marginal
+    /// with sticky phases.
+    fn correlated_map2() -> Map {
+        let l1 = 4.0;
+        let l2 = 0.5;
+        let gamma: f64 = 0.6;
+        let p1 = 0.3;
+        let d0 = DMatrix::from_row_slice(2, 2, &[-l1, 0.0, 0.0, -l2]);
+        let d1 = DMatrix::from_row_slice(
+            2,
+            2,
+            &[
+                l1 * (gamma + (1.0 - gamma) * p1),
+                l1 * (1.0 - gamma) * (1.0 - p1),
+                l2 * (1.0 - gamma) * p1,
+                l2 * (gamma + (1.0 - gamma) * (1.0 - p1)),
+            ],
+        );
+        Map::new(d0, d1).unwrap()
+    }
+
+    #[test]
+    fn poisson_descriptors() {
+        let m = poisson(3.0);
+        assert!(approx_eq(m.rate().unwrap(), 3.0, 1e-12));
+        assert!(approx_eq(m.mean().unwrap(), 1.0 / 3.0, 1e-12));
+        assert!(approx_eq(m.scv().unwrap(), 1.0, 1e-12));
+        assert!(approx_eq(m.skewness().unwrap(), 2.0, 1e-10));
+        assert!(m.autocorrelation(1).unwrap().abs() < 1e-12);
+        assert!(approx_eq(m.acf_decay_rate().unwrap(), 0.0, 1e-9));
+        assert_eq!(m.phases(), 1);
+        assert_eq!(m.completion_rates().as_slice(), &[3.0]);
+    }
+
+    #[test]
+    fn generator_rows_sum_to_zero() {
+        let m = correlated_map2();
+        assert!(m.generator().rows_sum_to(0.0, 1e-10));
+    }
+
+    #[test]
+    fn phase_stationary_is_a_distribution() {
+        let m = correlated_map2();
+        let theta = m.phase_stationary().unwrap();
+        assert!(approx_eq(theta.sum(), 1.0, 1e-10));
+        assert!(theta.is_nonnegative(1e-12));
+    }
+
+    #[test]
+    fn embedded_matrix_is_stochastic() {
+        let m = correlated_map2();
+        let p = m.embedded().unwrap();
+        assert!(p.is_stochastic(1e-9));
+        let pi = m.embedded_stationary().unwrap();
+        // pi is the stationary vector of P.
+        let pi_p = p.vecmat(&pi).unwrap();
+        assert!(pi.max_abs_diff(&pi_p).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn correlated_map2_matches_designed_descriptors() {
+        // By construction the marginal is H2 with p1 = 0.3 at rate 4 and
+        // p2 = 0.7 at rate 0.5, and the ACF decays geometrically at 0.6.
+        let m = correlated_map2();
+        let expected_mean = 0.3 / 4.0 + 0.7 / 0.5;
+        assert!(approx_eq(m.mean().unwrap(), expected_mean, 1e-9));
+        assert!(approx_eq(m.acf_decay_rate().unwrap(), 0.6, 1e-9));
+        // Geometric decay: rho(k+1)/rho(k) = gamma for every k.
+        let acf = m.autocorrelation_function(6).unwrap();
+        for k in 0..acf.len() - 1 {
+            assert!(approx_eq(acf[k + 1] / acf[k], 0.6, 1e-7));
+        }
+        // SCV of an H2 marginal is > 1 and positive correlation at lag 1.
+        assert!(m.scv().unwrap() > 1.0);
+        assert!(m.autocorrelation(1).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn autocorrelation_function_agrees_with_pointwise() {
+        let m = correlated_map2();
+        let acf = m.autocorrelation_function(5).unwrap();
+        for (k, &value) in acf.iter().enumerate() {
+            let single = m.autocorrelation(k as u32 + 1).unwrap();
+            assert!(approx_eq(value, single, 1e-10));
+        }
+        assert_eq!(m.autocorrelation(0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn scaled_to_mean_preserves_shape_descriptors() {
+        let m = correlated_map2();
+        let scaled = m.scaled_to_mean(5.0).unwrap();
+        assert!(approx_eq(scaled.mean().unwrap(), 5.0, 1e-9));
+        assert!(approx_eq(scaled.scv().unwrap(), m.scv().unwrap(), 1e-9));
+        assert!(approx_eq(
+            scaled.autocorrelation(1).unwrap(),
+            m.autocorrelation(1).unwrap(),
+            1e-9
+        ));
+        assert!(m.scaled_to_mean(0.0).is_err());
+    }
+
+    #[test]
+    fn invalid_maps_are_rejected() {
+        // Row sums of D0 + D1 not zero.
+        let d0 = DMatrix::from_row_slice(1, 1, &[-1.0]);
+        let d1 = DMatrix::from_row_slice(1, 1, &[2.0]);
+        assert!(Map::new(d0, d1).is_err());
+        // Negative entry in D1.
+        let d0 = DMatrix::from_row_slice(1, 1, &[-1.0]);
+        let d1 = DMatrix::from_row_slice(1, 1, &[-1.0]);
+        assert!(Map::new(d0, d1).is_err());
+        // Non-negative diagonal in D0.
+        let d0 = DMatrix::from_row_slice(1, 1, &[0.0]);
+        let d1 = DMatrix::from_row_slice(1, 1, &[0.0]);
+        assert!(Map::new(d0, d1).is_err());
+        // Shape mismatch.
+        let d0 = DMatrix::from_row_slice(1, 1, &[-1.0]);
+        let d1 = DMatrix::zeros(2, 2);
+        assert!(Map::new(d0, d1).is_err());
+        // Empty.
+        assert!(Map::new(DMatrix::zeros(0, 0), DMatrix::zeros(0, 0)).is_err());
+        // Negative off-diagonal in D0.
+        let d0 = DMatrix::from_row_slice(2, 2, &[-1.0, -0.5, 0.0, -1.0]);
+        let d1 = DMatrix::from_row_slice(2, 2, &[1.5, 0.0, 0.0, 1.0]);
+        assert!(Map::new(d0, d1).is_err());
+    }
+
+    #[test]
+    fn mmpp_style_map_has_positive_autocorrelation_in_counts_sense() {
+        // A two-phase MAP with very different rates and slow switching has
+        // strongly positively correlated inter-event times.
+        let d0 = DMatrix::from_row_slice(2, 2, &[-10.01, 0.01, 0.02, -0.12]);
+        let d1 = DMatrix::from_row_slice(2, 2, &[10.0, 0.0, 0.0, 0.1]);
+        let m = Map::new(d0, d1).unwrap();
+        assert!(m.autocorrelation(1).unwrap() > 0.1);
+        assert!(m.scv().unwrap() > 1.0);
+    }
+}

@@ -1,0 +1,398 @@
+//! Continuous phase-type (PH) distributions.
+//!
+//! A PH distribution is the distribution of the time to absorption of a
+//! finite CTMC with one absorbing state. It is described by the initial
+//! probability vector `alpha` over the transient phases and the sub-generator
+//! `T` (negative diagonal, non-negative off-diagonal, row sums ≤ 0). The exit
+//! rate vector is `t = -T 1`.
+//!
+//! PH distributions are the *renewal* (uncorrelated) special case of MAPs:
+//! [`PhaseType::to_map`] embeds a PH distribution as a MAP whose consecutive
+//! samples are independent. They are used in the workspace for service-time
+//! distributions without temporal dependence and as the marginal building
+//! block of the fitted MAP(2) processes.
+
+use crate::map::Map;
+use crate::{Result, StochasticError};
+use mapqn_linalg::{lu, DMatrix, DVector, EPS};
+
+/// A continuous phase-type distribution `(alpha, T)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseType {
+    alpha: DVector,
+    t: DMatrix,
+}
+
+impl PhaseType {
+    /// Creates and validates a PH distribution.
+    ///
+    /// # Errors
+    /// Returns [`StochasticError::InvalidPhaseType`] when:
+    /// * `alpha` and `T` have inconsistent dimensions,
+    /// * `alpha` is not a probability vector,
+    /// * `T` has negative off-diagonal entries, a non-negative diagonal
+    ///   entry, or a positive row sum.
+    pub fn new(alpha: DVector, t: DMatrix) -> Result<Self> {
+        let n = alpha.len();
+        if n == 0 {
+            return Err(StochasticError::InvalidPhaseType(
+                "PH distribution needs at least one phase".into(),
+            ));
+        }
+        if t.shape() != (n, n) {
+            return Err(StochasticError::InvalidPhaseType(format!(
+                "alpha has {} entries but T is {}x{}",
+                n,
+                t.nrows(),
+                t.ncols()
+            )));
+        }
+        if !alpha.is_nonnegative(EPS) {
+            return Err(StochasticError::InvalidPhaseType(
+                "alpha has negative entries".into(),
+            ));
+        }
+        if (alpha.sum() - 1.0).abs() > 1e-8 {
+            return Err(StochasticError::InvalidPhaseType(format!(
+                "alpha sums to {} instead of 1",
+                alpha.sum()
+            )));
+        }
+        for i in 0..n {
+            if t[(i, i)] >= 0.0 {
+                return Err(StochasticError::InvalidPhaseType(format!(
+                    "diagonal entry T[{i},{i}] = {} must be negative",
+                    t[(i, i)]
+                )));
+            }
+            for j in 0..n {
+                if i != j && t[(i, j)] < -EPS {
+                    return Err(StochasticError::InvalidPhaseType(format!(
+                        "off-diagonal entry T[{i},{j}] = {} must be non-negative",
+                        t[(i, j)]
+                    )));
+                }
+            }
+            if t.row_sum(i) > 1e-8 {
+                return Err(StochasticError::InvalidPhaseType(format!(
+                    "row {i} of T sums to {} > 0 (exit rate would be negative)",
+                    t.row_sum(i)
+                )));
+            }
+        }
+        Ok(Self { alpha, t })
+    }
+
+    /// Exponential distribution with the given `rate` as a 1-phase PH.
+    ///
+    /// # Panics
+    /// Panics if `rate` is not strictly positive.
+    #[must_use]
+    pub fn exponential(rate: f64) -> Self {
+        assert!(rate > 0.0, "exponential rate must be positive, got {rate}");
+        Self {
+            alpha: DVector::from_vec(vec![1.0]),
+            t: DMatrix::from_row_slice(1, 1, &[-rate]),
+        }
+    }
+
+    /// Erlang-`k` distribution with total mean `mean` (each of the `k` stages
+    /// has rate `k / mean`).
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `mean <= 0`.
+    #[must_use]
+    pub fn erlang(k: usize, mean: f64) -> Self {
+        assert!(k > 0, "Erlang needs at least one stage");
+        assert!(mean > 0.0, "Erlang mean must be positive, got {mean}");
+        let rate = k as f64 / mean;
+        let mut t = DMatrix::zeros(k, k);
+        for i in 0..k {
+            t[(i, i)] = -rate;
+            if i + 1 < k {
+                t[(i, i + 1)] = rate;
+            }
+        }
+        let mut alpha = DVector::zeros(k);
+        alpha[0] = 1.0;
+        Self { alpha, t }
+    }
+
+    /// Two-phase hyperexponential distribution: with probability `p` the
+    /// sample is Exp(`rate1`), otherwise Exp(`rate2`).
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 1]` or a rate is not positive.
+    #[must_use]
+    pub fn hyperexponential2(p: f64, rate1: f64, rate2: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "mixing probability must be in [0,1]");
+        assert!(rate1 > 0.0 && rate2 > 0.0, "rates must be positive");
+        Self {
+            alpha: DVector::from_vec(vec![p, 1.0 - p]),
+            t: DMatrix::from_row_slice(2, 2, &[-rate1, 0.0, 0.0, -rate2]),
+        }
+    }
+
+    /// Number of phases.
+    #[must_use]
+    pub fn phases(&self) -> usize {
+        self.alpha.len()
+    }
+
+    /// Initial probability vector.
+    #[must_use]
+    pub fn alpha(&self) -> &DVector {
+        &self.alpha
+    }
+
+    /// Sub-generator matrix `T`.
+    #[must_use]
+    pub fn t(&self) -> &DMatrix {
+        &self.t
+    }
+
+    /// Exit-rate vector `t = -T 1`.
+    #[must_use]
+    pub fn exit_rates(&self) -> DVector {
+        let ones = DVector::ones(self.phases());
+        let t1 = self
+            .t
+            .matvec(&ones)
+            .expect("dimensions are consistent by construction");
+        let mut exit = t1;
+        exit.scale(-1.0);
+        exit
+    }
+
+    /// Raw moment `E[X^k]` computed from `k! * alpha * (-T)^{-k} * 1`.
+    ///
+    /// # Errors
+    /// Propagates numerical failures from the matrix inversion (a valid PH
+    /// always has invertible `-T`).
+    pub fn moment(&self, k: u32) -> Result<f64> {
+        if k == 0 {
+            return Ok(1.0);
+        }
+        let neg_t = self.t.scaled(-1.0);
+        let inv = lu::invert(&neg_t)?;
+        let mut acc = inv.clone();
+        for _ in 1..k {
+            acc = acc.matmul(&inv)?;
+        }
+        let ones = DVector::ones(self.phases());
+        let v = acc.matvec(&ones)?;
+        let mut factorial = 1.0;
+        for i in 2..=k {
+            factorial *= f64::from(i);
+        }
+        Ok(factorial * self.alpha.dot(&v)?)
+    }
+
+    /// Mean `E[X]`.
+    ///
+    /// # Errors
+    /// Propagates numerical failures from the moment computation.
+    pub fn mean(&self) -> Result<f64> {
+        self.moment(1)
+    }
+
+    /// Variance `Var[X]`.
+    ///
+    /// # Errors
+    /// Propagates numerical failures from the moment computation.
+    pub fn variance(&self) -> Result<f64> {
+        let m1 = self.moment(1)?;
+        let m2 = self.moment(2)?;
+        Ok(m2 - m1 * m1)
+    }
+
+    /// Squared coefficient of variation `Var[X] / E[X]^2`.
+    ///
+    /// # Errors
+    /// Propagates numerical failures from the moment computation.
+    pub fn scv(&self) -> Result<f64> {
+        let m1 = self.moment(1)?;
+        Ok(self.variance()? / (m1 * m1))
+    }
+
+    /// Skewness `E[(X - m)^3] / sigma^3`.
+    ///
+    /// # Errors
+    /// Propagates numerical failures from the moment computation.
+    pub fn skewness(&self) -> Result<f64> {
+        let m1 = self.moment(1)?;
+        let m2 = self.moment(2)?;
+        let m3 = self.moment(3)?;
+        let var = m2 - m1 * m1;
+        let central3 = m3 - 3.0 * m1 * var - m1 * m1 * m1;
+        Ok(central3 / var.powf(1.5))
+    }
+
+    /// Complementary CDF `P[X > x]` evaluated by uniformization of the
+    /// defective CTMC.
+    ///
+    /// # Errors
+    /// Returns an error when `x` is negative.
+    pub fn ccdf(&self, x: f64) -> Result<f64> {
+        if x < 0.0 {
+            return Err(StochasticError::InvalidPhaseType(
+                "ccdf argument must be non-negative".into(),
+            ));
+        }
+        if x == 0.0 {
+            return Ok(1.0);
+        }
+        // Uniformization: P[X > x] = alpha * exp(T x) * 1
+        //                          = sum_k Poisson(k; q x) alpha P^k 1,
+        // where P = I + T / q and q >= max |T_ii|.
+        let n = self.phases();
+        let q = (0..n).map(|i| -self.t[(i, i)]).fold(0.0_f64, f64::max) * 1.0001 + 1e-12;
+        let p = DMatrix::identity(n)
+            .add(&self.t.scaled(1.0 / q))
+            .expect("shapes agree");
+        let lambda = q * x;
+        // Accumulate terms until the Poisson tail is negligible.
+        let mut weight = (-lambda).exp();
+        let mut v = self.alpha.clone();
+        let ones = DVector::ones(n);
+        let mut total = weight * v.dot(&ones)?;
+        let mut cumulative = weight;
+        let mut k = 0usize;
+        let max_terms = (lambda + 10.0 * lambda.sqrt() + 50.0) as usize;
+        while cumulative < 1.0 - 1e-13 && k < max_terms {
+            k += 1;
+            v = p.vecmat(&v)?;
+            weight *= lambda / k as f64;
+            cumulative += weight;
+            total += weight * v.dot(&ones)?;
+        }
+        Ok(total.clamp(0.0, 1.0))
+    }
+
+    /// Embeds this PH distribution as a renewal MAP: consecutive samples are
+    /// independent draws of the PH distribution (`D1 = t * alpha`).
+    ///
+    /// # Errors
+    /// Propagates validation failures (should not happen for a valid PH).
+    pub fn to_map(&self) -> Result<Map> {
+        let n = self.phases();
+        let exit = self.exit_rates();
+        let mut d1 = DMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                d1[(i, j)] = exit[i] * self.alpha[j];
+            }
+        }
+        Map::new(self.t.clone(), d1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapqn_linalg::approx_eq;
+
+    #[test]
+    fn exponential_moments() {
+        let ph = PhaseType::exponential(2.0);
+        assert!(approx_eq(ph.mean().unwrap(), 0.5, 1e-12));
+        assert!(approx_eq(ph.variance().unwrap(), 0.25, 1e-12));
+        assert!(approx_eq(ph.scv().unwrap(), 1.0, 1e-12));
+        assert!(approx_eq(ph.skewness().unwrap(), 2.0, 1e-10));
+        assert_eq!(ph.phases(), 1);
+        assert_eq!(ph.exit_rates().as_slice(), &[2.0]);
+    }
+
+    #[test]
+    fn erlang_moments() {
+        // Erlang-4 with mean 2: variance = mean^2 / k = 1, scv = 1/4.
+        let ph = PhaseType::erlang(4, 2.0);
+        assert!(approx_eq(ph.mean().unwrap(), 2.0, 1e-12));
+        assert!(approx_eq(ph.variance().unwrap(), 1.0, 1e-12));
+        assert!(approx_eq(ph.scv().unwrap(), 0.25, 1e-12));
+        // Erlang-k skewness = 2 / sqrt(k).
+        assert!(approx_eq(ph.skewness().unwrap(), 1.0, 1e-10));
+    }
+
+    #[test]
+    fn hyperexponential_moments() {
+        let ph = PhaseType::hyperexponential2(0.25, 2.0, 0.5);
+        // mean = 0.25/2 + 0.75/0.5 = 0.125 + 1.5 = 1.625.
+        assert!(approx_eq(ph.mean().unwrap(), 1.625, 1e-12));
+        // Hyperexponential SCV is always >= 1.
+        assert!(ph.scv().unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn ccdf_of_exponential_matches_closed_form() {
+        let ph = PhaseType::exponential(1.5);
+        for &x in &[0.0, 0.1, 0.5, 1.0, 3.0] {
+            let expected = (-1.5_f64 * x).exp();
+            assert!(
+                approx_eq(ph.ccdf(x).unwrap(), expected, 1e-6),
+                "ccdf({x}) = {} expected {expected}",
+                ph.ccdf(x).unwrap()
+            );
+        }
+        assert!(ph.ccdf(-1.0).is_err());
+    }
+
+    #[test]
+    fn ccdf_is_monotone_for_erlang() {
+        let ph = PhaseType::erlang(3, 1.0);
+        let mut prev = 1.0;
+        for i in 0..20 {
+            let x = i as f64 * 0.25;
+            let c = ph.ccdf(x).unwrap();
+            assert!(c <= prev + 1e-9, "ccdf must be non-increasing");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn to_map_preserves_moments() {
+        let ph = PhaseType::hyperexponential2(0.4, 3.0, 0.8);
+        let map = ph.to_map().unwrap();
+        assert!(approx_eq(map.mean().unwrap(), ph.mean().unwrap(), 1e-10));
+        assert!(approx_eq(map.scv().unwrap(), ph.scv().unwrap(), 1e-10));
+        // A renewal MAP has zero lag-1 autocorrelation.
+        assert!(map.autocorrelation(1).unwrap().abs() < 1e-10);
+    }
+
+    #[test]
+    fn invalid_alpha_rejected() {
+        let t = DMatrix::from_row_slice(1, 1, &[-1.0]);
+        assert!(PhaseType::new(DVector::from_vec(vec![0.5]), t.clone()).is_err());
+        assert!(PhaseType::new(DVector::from_vec(vec![-0.1, 1.1]), t).is_err());
+    }
+
+    #[test]
+    fn invalid_t_rejected() {
+        // Positive diagonal.
+        let t = DMatrix::from_row_slice(1, 1, &[1.0]);
+        assert!(PhaseType::new(DVector::from_vec(vec![1.0]), t).is_err());
+        // Negative off-diagonal.
+        let t = DMatrix::from_row_slice(2, 2, &[-1.0, -0.5, 0.0, -1.0]);
+        assert!(PhaseType::new(DVector::from_vec(vec![0.5, 0.5]), t).is_err());
+        // Positive row sum.
+        let t = DMatrix::from_row_slice(2, 2, &[-1.0, 2.0, 0.0, -1.0]);
+        assert!(PhaseType::new(DVector::from_vec(vec![0.5, 0.5]), t).is_err());
+        // Dimension mismatch.
+        let t = DMatrix::from_row_slice(1, 1, &[-1.0]);
+        assert!(PhaseType::new(DVector::from_vec(vec![0.5, 0.5]), t).is_err());
+        // Empty.
+        assert!(PhaseType::new(DVector::zeros(0), DMatrix::zeros(0, 0)).is_err());
+    }
+
+    #[test]
+    fn moment_zero_is_one() {
+        let ph = PhaseType::exponential(1.0);
+        assert_eq!(ph.moment(0).unwrap(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exponential_rejects_nonpositive_rate() {
+        let _ = PhaseType::exponential(0.0);
+    }
+}

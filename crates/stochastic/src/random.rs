@@ -1,0 +1,211 @@
+//! Random MAP(2) generation for the Table 1 experiments.
+//!
+//! The paper evaluates its bounds on 10 000 random three-queue models where
+//! "mean, coefficient of variation, skewness, and autocorrelation geometric
+//! decay rate at MAP(2) servers are also drawn randomly". This module draws
+//! those descriptors uniformly from configurable ranges and produces a valid
+//! MAP(2) through the fitting pipeline of [`crate::fit`].
+
+use crate::fit::{fit_map2, Map2FitSpec};
+use crate::map::Map;
+use crate::Result;
+use rand::Rng;
+
+/// Ranges from which the random MAP(2) descriptors are drawn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomMap2Spec {
+    /// Range of the mean service time (uniform).
+    pub mean_range: (f64, f64),
+    /// Range of the squared coefficient of variation (uniform, must stay
+    /// ≥ 1 so an H2 marginal exists).
+    pub scv_range: (f64, f64),
+    /// Range of the skewness *multiplier*: the skewness target is drawn as
+    /// `multiplier * skew_balanced`, where `skew_balanced` is the skewness
+    /// the balanced H2 would have. This keeps random targets inside (or
+    /// close to) the H2-feasible region; infeasible draws silently fall back
+    /// to the two-moment fit, mirroring the paper's "drawn randomly" setup
+    /// without rejecting samples.
+    pub skewness_multiplier_range: (f64, f64),
+    /// Range of the autocorrelation geometric decay rate (uniform in
+    /// `[0, 1)`).
+    pub acf_decay_range: (f64, f64),
+}
+
+impl Default for RandomMap2Spec {
+    fn default() -> Self {
+        Self {
+            mean_range: (0.5, 2.0),
+            scv_range: (1.0, 16.0),
+            skewness_multiplier_range: (1.0, 1.5),
+            acf_decay_range: (0.0, 0.9),
+        }
+    }
+}
+
+/// Descriptors actually drawn for one random MAP(2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DrawnDescriptors {
+    /// Mean service time.
+    pub mean: f64,
+    /// Squared coefficient of variation.
+    pub scv: f64,
+    /// Skewness target passed to the fitter.
+    pub skewness: f64,
+    /// Autocorrelation geometric decay rate.
+    pub acf_decay: f64,
+}
+
+/// A randomly generated MAP(2) together with the descriptors it was drawn
+/// from and whether the third moment was matched exactly.
+#[derive(Debug, Clone)]
+pub struct RandomMap2 {
+    /// The generated process.
+    pub map: Map,
+    /// The descriptors that were drawn.
+    pub descriptors: DrawnDescriptors,
+    /// Whether the skewness target was matched exactly by the fit.
+    pub matched_third_moment: bool,
+}
+
+fn uniform_in<R: Rng + ?Sized>(rng: &mut R, range: (f64, f64)) -> f64 {
+    if (range.1 - range.0).abs() < f64::EPSILON {
+        range.0
+    } else {
+        rng.gen_range(range.0..range.1)
+    }
+}
+
+/// Skewness of a balanced-means H2 with the given SCV (computed through the
+/// explicit construction; used to centre the random skewness targets).
+fn balanced_h2_skewness(scv: f64) -> f64 {
+    if scv <= 1.0 {
+        return 2.0; // exponential limit
+    }
+    // Build the balanced H2 with unit mean and read its skewness exactly.
+    let (p, r1, r2) = crate::builders::hyperexp2_balanced(1.0, scv)
+        .expect("scv >= 1 is feasible by construction");
+    let a1 = 1.0 / r1;
+    let a2 = 1.0 / r2;
+    let m1 = p * a1 + (1.0 - p) * a2;
+    let m2 = 2.0 * (p * a1 * a1 + (1.0 - p) * a2 * a2);
+    let m3 = 6.0 * (p * a1 * a1 * a1 + (1.0 - p) * a2 * a2 * a2);
+    let var = m2 - m1 * m1;
+    (m3 - 3.0 * m1 * var - m1 * m1 * m1) / var.powf(1.5)
+}
+
+/// Draws one random MAP(2) according to `spec`.
+///
+/// # Errors
+/// Propagates fitting errors; with a well-formed `spec` (scv range ≥ 1,
+/// decay range inside `[0, 1)`) this cannot fail.
+pub fn random_map2<R: Rng + ?Sized>(spec: &RandomMap2Spec, rng: &mut R) -> Result<RandomMap2> {
+    let mean = uniform_in(rng, spec.mean_range);
+    let scv = uniform_in(rng, spec.scv_range).max(1.0);
+    let decay = uniform_in(rng, spec.acf_decay_range).clamp(0.0, 0.999);
+    let skew_mult = uniform_in(rng, spec.skewness_multiplier_range);
+    let skewness = skew_mult * balanced_h2_skewness(scv);
+    let fit = fit_map2(
+        &Map2FitSpec::new(mean, scv, decay).with_skewness(skewness),
+    )?;
+    Ok(RandomMap2 {
+        map: fit.map,
+        descriptors: DrawnDescriptors {
+            mean,
+            scv,
+            skewness,
+            acf_decay: decay,
+        },
+        matched_third_moment: fit.matched_third_moment,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_maps_match_their_drawn_descriptors() {
+        let spec = RandomMap2Spec::default();
+        let mut rng = StdRng::seed_from_u64(123);
+        for _ in 0..50 {
+            let r = random_map2(&spec, &mut rng).unwrap();
+            let mean = r.map.mean().unwrap();
+            let scv = r.map.scv().unwrap();
+            let decay = r.map.acf_decay_rate().unwrap();
+            assert!(
+                (mean - r.descriptors.mean).abs() / r.descriptors.mean < 1e-6,
+                "mean {mean} vs target {}",
+                r.descriptors.mean
+            );
+            assert!(
+                (scv - r.descriptors.scv).abs() / r.descriptors.scv < 1e-6,
+                "scv {scv} vs target {}",
+                r.descriptors.scv
+            );
+            // When the ACF is non-degenerate the decay rate must match.
+            if r.map.autocorrelation(1).unwrap().abs() > 1e-9 {
+                assert!(
+                    (decay - r.descriptors.acf_decay).abs() < 1e-6,
+                    "decay {decay} vs target {}",
+                    r.descriptors.acf_decay
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn descriptors_stay_inside_the_requested_ranges() {
+        let spec = RandomMap2Spec {
+            mean_range: (1.0, 3.0),
+            scv_range: (2.0, 8.0),
+            skewness_multiplier_range: (1.0, 1.2),
+            acf_decay_range: (0.1, 0.5),
+        };
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let r = random_map2(&spec, &mut rng).unwrap();
+            let d = r.descriptors;
+            assert!(d.mean >= 1.0 && d.mean <= 3.0);
+            assert!(d.scv >= 2.0 && d.scv <= 8.0);
+            assert!(d.acf_decay >= 0.1 && d.acf_decay <= 0.5);
+            assert!(d.skewness > 0.0);
+        }
+    }
+
+    #[test]
+    fn degenerate_ranges_are_allowed() {
+        let spec = RandomMap2Spec {
+            mean_range: (1.0, 1.0),
+            scv_range: (4.0, 4.0),
+            skewness_multiplier_range: (1.0, 1.0),
+            acf_decay_range: (0.5, 0.5),
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = random_map2(&spec, &mut rng).unwrap();
+        assert_eq!(r.descriptors.mean, 1.0);
+        assert_eq!(r.descriptors.scv, 4.0);
+        assert_eq!(r.descriptors.acf_decay, 0.5);
+    }
+
+    #[test]
+    fn most_draws_match_the_third_moment() {
+        // With multipliers slightly above 1 the skewness targets should be
+        // feasible for an (unbalanced) H2 most of the time.
+        let spec = RandomMap2Spec::default();
+        let mut rng = StdRng::seed_from_u64(77);
+        let matched = (0..200)
+            .filter(|_| random_map2(&spec, &mut rng).unwrap().matched_third_moment)
+            .count();
+        assert!(matched > 100, "only {matched}/200 draws matched the third moment");
+    }
+
+    #[test]
+    fn balanced_skewness_is_increasing_in_scv() {
+        let s2 = balanced_h2_skewness(2.0);
+        let s8 = balanced_h2_skewness(8.0);
+        assert!(s8 > s2);
+        assert_eq!(balanced_h2_skewness(1.0), 2.0);
+    }
+}

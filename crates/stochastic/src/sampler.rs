@@ -1,0 +1,306 @@
+//! Exact simulation of MAP and PH processes.
+//!
+//! The discrete-event simulator in `mapqn-sim` plays the role of the paper's
+//! measured TPC-W testbed; it needs to draw service times from MAPs *with*
+//! the correct phase memory across consecutive completions (that memory is
+//! precisely what makes consecutive service times autocorrelated). The
+//! [`MapSampler`] keeps the current phase between calls; the [`PhSampler`]
+//! draws independent phase-type samples.
+
+use crate::map::Map;
+use crate::ph::PhaseType;
+use rand::Rng;
+
+/// Stateful sampler of a MAP: consecutive calls to
+/// [`MapSampler::next_interval`] return the consecutive inter-event times of
+/// one realization of the process, preserving the phase across events.
+#[derive(Debug, Clone)]
+pub struct MapSampler {
+    d0: Vec<Vec<f64>>,
+    d1: Vec<Vec<f64>>,
+    total_rate: Vec<f64>,
+    phase: usize,
+}
+
+impl MapSampler {
+    /// Creates a sampler starting from the embedded stationary phase
+    /// distribution (so the generated sequence is stationary from the first
+    /// sample).
+    ///
+    /// # Panics
+    /// Panics if the MAP descriptors cannot be computed (a validated [`Map`]
+    /// never triggers this).
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(map: &Map, rng: &mut R) -> Self {
+        let pi = map
+            .embedded_stationary()
+            .expect("validated MAP has an embedded stationary distribution");
+        let u: f64 = rng.gen();
+        let mut cumulative = 0.0;
+        let mut phase = 0;
+        for i in 0..map.phases() {
+            cumulative += pi[i];
+            if u <= cumulative {
+                phase = i;
+                break;
+            }
+            phase = i;
+        }
+        Self::with_initial_phase(map, phase)
+    }
+
+    /// Creates a sampler that starts in the given phase.
+    ///
+    /// # Panics
+    /// Panics if `phase` is out of range.
+    #[must_use]
+    pub fn with_initial_phase(map: &Map, phase: usize) -> Self {
+        let n = map.phases();
+        assert!(phase < n, "initial phase {phase} out of range (MAP has {n} phases)");
+        let d0 = (0..n).map(|i| map.d0().row(i).to_vec()).collect::<Vec<_>>();
+        let d1 = (0..n).map(|i| map.d1().row(i).to_vec()).collect::<Vec<_>>();
+        let total_rate = (0..n).map(|i| -d0[i][i]).collect();
+        Self {
+            d0,
+            d1,
+            total_rate,
+            phase,
+        }
+    }
+
+    /// Current phase of the process (the phase "left active by the last
+    /// served job", in the wording of the paper's Figure 6).
+    #[must_use]
+    pub fn phase(&self) -> usize {
+        self.phase
+    }
+
+    /// Forces the phase (used by tests and by restart logic in the
+    /// simulator).
+    ///
+    /// # Panics
+    /// Panics if `phase` is out of range.
+    pub fn set_phase(&mut self, phase: usize) {
+        assert!(phase < self.total_rate.len(), "phase out of range");
+        self.phase = phase;
+    }
+
+    /// Draws the next inter-event time, advancing the phase.
+    pub fn next_interval<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        let n = self.total_rate.len();
+        let mut elapsed = 0.0;
+        loop {
+            let i = self.phase;
+            let rate = self.total_rate[i];
+            // Exponential sojourn in the current phase.
+            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            elapsed += -u.ln() / rate;
+            // Choose which transition fired: hidden (D0, i != j) or event (D1).
+            let mut threshold: f64 = rng.gen::<f64>() * rate;
+            let mut fired_event = false;
+            let mut next_phase = i;
+            'outer: {
+                for j in 0..n {
+                    if j != i {
+                        threshold -= self.d0[i][j];
+                        if threshold <= 0.0 {
+                            next_phase = j;
+                            break 'outer;
+                        }
+                    }
+                }
+                for j in 0..n {
+                    threshold -= self.d1[i][j];
+                    if threshold <= 0.0 {
+                        next_phase = j;
+                        fired_event = true;
+                        break 'outer;
+                    }
+                }
+                // Round-off fallback: attribute to the last event transition
+                // with positive rate, or stay hidden in the same phase.
+                for j in (0..n).rev() {
+                    if self.d1[i][j] > 0.0 {
+                        next_phase = j;
+                        fired_event = true;
+                        break;
+                    }
+                }
+            }
+            self.phase = next_phase;
+            if fired_event {
+                return elapsed;
+            }
+        }
+    }
+
+    /// Draws `count` consecutive inter-event times.
+    pub fn sample_intervals<R: Rng + ?Sized>(&mut self, count: usize, rng: &mut R) -> Vec<f64> {
+        (0..count).map(|_| self.next_interval(rng)).collect()
+    }
+}
+
+/// Sampler of independent phase-type distributed values.
+#[derive(Debug, Clone)]
+pub struct PhSampler {
+    alpha: Vec<f64>,
+    t: Vec<Vec<f64>>,
+    exit: Vec<f64>,
+    total_rate: Vec<f64>,
+}
+
+impl PhSampler {
+    /// Creates a sampler for the given PH distribution.
+    #[must_use]
+    pub fn new(ph: &PhaseType) -> Self {
+        let n = ph.phases();
+        let alpha = ph.alpha().as_slice().to_vec();
+        let t = (0..n).map(|i| ph.t().row(i).to_vec()).collect::<Vec<_>>();
+        let exit = ph.exit_rates().into_vec();
+        let total_rate = (0..n).map(|i| -t[i][i]).collect();
+        Self {
+            alpha,
+            t,
+            exit,
+            total_rate,
+        }
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let n = self.alpha.len();
+        // Initial phase from alpha.
+        let mut u: f64 = rng.gen();
+        let mut phase = n - 1;
+        for (i, &a) in self.alpha.iter().enumerate() {
+            if u <= a {
+                phase = i;
+                break;
+            }
+            u -= a;
+        }
+        let mut elapsed = 0.0;
+        loop {
+            let rate = self.total_rate[phase];
+            let v: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            elapsed += -v.ln() / rate;
+            let mut threshold: f64 = rng.gen::<f64>() * rate;
+            // Absorption?
+            threshold -= self.exit[phase];
+            if threshold <= 0.0 {
+                return elapsed;
+            }
+            let mut moved = false;
+            for j in 0..n {
+                if j != phase {
+                    threshold -= self.t[phase][j];
+                    if threshold <= 0.0 {
+                        phase = j;
+                        moved = true;
+                        break;
+                    }
+                }
+            }
+            if !moved {
+                // Numerical fallback: treat as absorption.
+                return elapsed;
+            }
+        }
+    }
+
+    /// Draws `count` independent samples.
+    pub fn sample_many<R: Rng + ?Sized>(&self, count: usize, rng: &mut R) -> Vec<f64> {
+        (0..count).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acf::SeriesStats;
+    use crate::builders::{exponential_map, map2_correlated};
+    use crate::ph::PhaseType;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exponential_map_samples_match_mean() {
+        let map = exponential_map(2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sampler = MapSampler::new(&map, &mut rng);
+        let samples = sampler.sample_intervals(20_000, &mut rng);
+        let stats = SeriesStats::from_series(&samples);
+        assert!((stats.mean - 0.5).abs() < 0.02, "mean = {}", stats.mean);
+        assert!((stats.scv - 1.0).abs() < 0.1, "scv = {}", stats.scv);
+    }
+
+    #[test]
+    fn correlated_map_samples_show_autocorrelation() {
+        let map = map2_correlated(0.3, 5.0, 0.4, 0.7).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut sampler = MapSampler::new(&map, &mut rng);
+        let samples = sampler.sample_intervals(60_000, &mut rng);
+        let stats = SeriesStats::from_series(&samples);
+        let exact_mean = map.mean().unwrap();
+        let exact_acf1 = map.autocorrelation(1).unwrap();
+        let est_acf1 = crate::acf::autocorrelation(&samples, 1);
+        assert!(
+            (stats.mean - exact_mean).abs() / exact_mean < 0.05,
+            "sample mean {} vs exact {}",
+            stats.mean,
+            exact_mean
+        );
+        assert!(
+            (est_acf1 - exact_acf1).abs() < 0.05,
+            "sample acf1 {est_acf1} vs exact {exact_acf1}"
+        );
+        assert!(est_acf1 > 0.05, "expected visible positive autocorrelation");
+    }
+
+    #[test]
+    fn renewal_map_samples_show_no_autocorrelation() {
+        let map = map2_correlated(0.3, 5.0, 0.4, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sampler = MapSampler::new(&map, &mut rng);
+        let samples = sampler.sample_intervals(40_000, &mut rng);
+        let est_acf1 = crate::acf::autocorrelation(&samples, 1);
+        assert!(est_acf1.abs() < 0.03, "acf1 = {est_acf1}");
+    }
+
+    #[test]
+    fn sampler_phase_bookkeeping() {
+        let map = map2_correlated(0.5, 2.0, 0.5, 0.5).unwrap();
+        let mut sampler = MapSampler::with_initial_phase(&map, 1);
+        assert_eq!(sampler.phase(), 1);
+        sampler.set_phase(0);
+        assert_eq!(sampler.phase(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sampler_rejects_bad_initial_phase() {
+        let map = exponential_map(1.0).unwrap();
+        let _ = MapSampler::with_initial_phase(&map, 5);
+    }
+
+    #[test]
+    fn ph_sampler_erlang_mean_and_scv() {
+        let ph = PhaseType::erlang(4, 2.0);
+        let sampler = PhSampler::new(&ph);
+        let mut rng = StdRng::seed_from_u64(42);
+        let samples = sampler.sample_many(20_000, &mut rng);
+        let stats = SeriesStats::from_series(&samples);
+        assert!((stats.mean - 2.0).abs() < 0.05, "mean = {}", stats.mean);
+        assert!((stats.scv - 0.25).abs() < 0.05, "scv = {}", stats.scv);
+    }
+
+    #[test]
+    fn ph_sampler_hyperexponential_mean() {
+        let ph = PhaseType::hyperexponential2(0.25, 2.0, 0.5);
+        let sampler = PhSampler::new(&ph);
+        let mut rng = StdRng::seed_from_u64(5);
+        let samples = sampler.sample_many(30_000, &mut rng);
+        let stats = SeriesStats::from_series(&samples);
+        assert!((stats.mean - 1.625).abs() < 0.05, "mean = {}", stats.mean);
+    }
+}

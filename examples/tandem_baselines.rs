@@ -1,0 +1,52 @@
+//! Compare the classical analysis techniques against the exact solution on
+//! an autocorrelated tandem network (the Figure 4 scenario): decomposition-
+//! aggregation, ABA bounds, balanced-job bounds and the paper's LP bounds.
+//!
+//! Run with `cargo run --release --example tandem_baselines`.
+
+use mapqn::core::bounds::{aba_bounds, balanced_job_bounds};
+use mapqn::core::decomposition::solve_decomposition;
+use mapqn::core::templates::figure4_tandem;
+use mapqn::core::{solve_exact, MarginalBoundSolver, PerformanceIndex};
+
+fn main() {
+    println!("Queue-1 utilization in a closed MAP/Exp tandem (paper Figure 4 scenario)");
+    println!(
+        "{:>4}  {:>8}  {:>8}  {:>17}  {:>17}",
+        "N", "exact", "decomp", "ABA [lo, hi]", "LP [lo, hi]"
+    );
+
+    for &population in &[2usize, 5, 10, 20, 40] {
+        let network = figure4_tandem(population, 1.0, 8.0, 0.7, 1.25).expect("network");
+        let exact = solve_exact(&network).expect("exact");
+        let decomposed = solve_decomposition(&network).expect("decomposition");
+        let aba = aba_bounds(&network).expect("ABA");
+        let demand1 = network.service_demands().expect("demands")[0];
+        let aba_lo = (aba.throughput.lower * demand1).min(1.0);
+        let aba_hi = (aba.throughput.upper * demand1).min(1.0);
+        let lp = MarginalBoundSolver::new(&network)
+            .expect("solver")
+            .bound(PerformanceIndex::Utilization(0))
+            .expect("LP bounds");
+
+        println!(
+            "{:>4}  {:>8.4}  {:>8.4}  [{:>6.4}, {:>6.4}]  [{:>6.4}, {:>6.4}]",
+            population, exact.utilization[0], decomposed.utilization[0], aba_lo, aba_hi, lp.lower,
+            lp.upper
+        );
+        assert!(lp.contains(exact.utilization[0], 1e-6));
+    }
+
+    // Throughput bounds from balanced-job analysis, for completeness.
+    let network = figure4_tandem(20, 1.0, 8.0, 0.7, 1.25).expect("network");
+    let bjb = balanced_job_bounds(&network).expect("BJB");
+    let exact = solve_exact(&network).expect("exact");
+    println!();
+    println!(
+        "Balanced-job throughput bounds at N = 20: [{:.4}, {:.4}] (exact {:.4})",
+        bjb.lower, bjb.upper, exact.system_throughput
+    );
+    println!();
+    println!("The LP bounds stay tight across the whole range, while the distribution-blind");
+    println!("baselines drift away from the exact curve exactly as the paper's Figure 4 shows.");
+}

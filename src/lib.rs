@@ -1,0 +1,77 @@
+//! # mapqn — Versatile Models of Systems Using MAP Queueing Networks
+//!
+//! Umbrella crate of the `mapqn` workspace: a Rust implementation of closed
+//! queueing networks with Markovian Arrival Process (MAP) service and of the
+//! linear-programming performance-bound methodology of
+//! *"Versatile Models of Systems Using MAP Queueing Networks"*
+//! (Casale, Mi, Smirni, 2008).
+//!
+//! This crate simply re-exports the workspace members under stable paths so
+//! that applications can depend on a single crate:
+//!
+//! * [`core`] — network model, exact solver, LP bounds, MVA, decomposition
+//!   and ABA baselines ([`mapqn_core`]);
+//! * [`stochastic`] — MAPs, PH distributions, fitting and trace analysis
+//!   ([`mapqn_stochastic`]);
+//! * [`markov`] — CTMC/DTMC machinery ([`mapqn_markov`]);
+//! * [`lp`] — the two-phase simplex solver ([`mapqn_lp`]);
+//! * [`linalg`] — dense/sparse linear algebra ([`mapqn_linalg`]);
+//! * [`sim`] — discrete-event simulation of MAP networks ([`mapqn_sim`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mapqn::core::{ClosedNetwork, MarginalBoundSolver, Service, Station, solve_exact};
+//! use mapqn::stochastic::{fit_map2, Map2FitSpec};
+//! use mapqn::linalg::DMatrix;
+//!
+//! // A two-queue closed tandem: an exponential queue feeding a bursty MAP queue.
+//! let map = fit_map2(&Map2FitSpec::new(1.0, 4.0, 0.5)).unwrap().map;
+//! let network = ClosedNetwork::new(
+//!     vec![
+//!         Station::queue("cpu", Service::exponential(1.5).unwrap()),
+//!         Station::queue("disk", Service::map(map)),
+//!     ],
+//!     DMatrix::from_row_slice(2, 2, &[0.0, 1.0, 1.0, 0.0]),
+//!     5,
+//! )
+//! .unwrap();
+//!
+//! // Exact (global balance) reference and LP bounds.
+//! let exact = solve_exact(&network).unwrap();
+//! let bounds = MarginalBoundSolver::new(&network).unwrap().bound_all().unwrap();
+//! assert!(bounds.system_throughput.contains(exact.system_throughput, 1e-6));
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+/// Re-export of [`mapqn_core`]: the network model, exact solver and bounds.
+pub mod core {
+    pub use mapqn_core::*;
+}
+
+/// Re-export of [`mapqn_stochastic`]: MAPs, PH distributions and fitting.
+pub mod stochastic {
+    pub use mapqn_stochastic::*;
+}
+
+/// Re-export of [`mapqn_markov`]: CTMC / DTMC machinery.
+pub mod markov {
+    pub use mapqn_markov::*;
+}
+
+/// Re-export of [`mapqn_lp`]: the linear-programming solver.
+pub mod lp {
+    pub use mapqn_lp::*;
+}
+
+/// Re-export of [`mapqn_linalg`]: dense and sparse linear algebra.
+pub mod linalg {
+    pub use mapqn_linalg::*;
+}
+
+/// Re-export of [`mapqn_sim`]: discrete-event simulation.
+pub mod sim {
+    pub use mapqn_sim::*;
+}

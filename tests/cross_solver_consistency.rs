@@ -1,0 +1,141 @@
+//! Cross-solver consistency: the independent solution techniques of the
+//! workspace (exact global balance, MVA, decomposition, LP bounds,
+//! discrete-event simulation) must agree with each other on the models where
+//! their assumptions overlap.
+
+use mapqn::core::decomposition::solve_decomposition;
+use mapqn::core::mva::{mva_exact, mva_schweitzer};
+use mapqn::core::templates::{figure4_tandem, figure5_network, tpcw_network, TpcwParameters};
+use mapqn::core::{solve_exact, ClosedNetwork, MarginalBoundSolver, Service, Station};
+use mapqn::linalg::DMatrix;
+use mapqn::sim::{simulate, SimulationConfig};
+
+fn exponential_central_server(population: usize) -> ClosedNetwork {
+    let routing = DMatrix::from_row_slice(
+        3,
+        3,
+        &[0.1, 0.5, 0.4, 1.0, 0.0, 0.0, 1.0, 0.0, 0.0],
+    );
+    ClosedNetwork::new(
+        vec![
+            Station::queue("cpu", Service::exponential(4.0).unwrap()),
+            Station::queue("disk-a", Service::exponential(1.8).unwrap()),
+            Station::queue("disk-b", Service::exponential(2.2).unwrap()),
+        ],
+        routing,
+        population,
+    )
+    .unwrap()
+}
+
+/// On product-form networks, exact CTMC, MVA and decomposition must coincide
+/// and the LP bounds must enclose them.
+#[test]
+fn exponential_network_all_solvers_agree() {
+    let network = exponential_central_server(6);
+    let exact = solve_exact(&network).unwrap();
+    let mva = mva_exact(&network).unwrap().metrics;
+    let decomposed = solve_decomposition(&network).unwrap();
+    let approx = mva_schweitzer(&network, 1e-10, 10_000).unwrap();
+    let bounds = MarginalBoundSolver::new(&network).unwrap().bound_all().unwrap();
+
+    assert!((exact.system_throughput - mva.system_throughput).abs() < 1e-7);
+    assert!((exact.system_throughput - decomposed.system_throughput).abs() < 1e-7);
+    assert!(
+        (approx.system_throughput - exact.system_throughput).abs() / exact.system_throughput
+            < 0.05
+    );
+    for k in 0..3 {
+        assert!((exact.utilization[k] - mva.utilization[k]).abs() < 1e-7);
+        assert!(bounds.utilization[k].contains(exact.utilization[k], 1e-5));
+        assert!(bounds.throughput[k].contains(exact.throughput[k], 1e-5));
+    }
+    assert!(bounds
+        .system_response_time
+        .contains(exact.system_response_time, 1e-5));
+}
+
+/// Simulation agrees with the exact solver on a MAP network (statistical
+/// tolerance), and the LP bounds contain both.
+#[test]
+fn simulation_exact_and_bounds_agree_on_map_network() {
+    let network = figure5_network(6, 4.0, 0.5).unwrap();
+    let exact = solve_exact(&network).unwrap();
+    let sim = simulate(
+        &network,
+        &SimulationConfig {
+            total_completions: 400_000,
+            warmup_fraction: 0.1,
+            seed: 77,
+            collect_traces: false,
+            max_trace_events: 0,
+            cache_overrides: Vec::new(),
+        },
+    )
+    .unwrap();
+    let bounds = MarginalBoundSolver::new(&network).unwrap().bound_all().unwrap();
+
+    assert!(
+        (sim.metrics.system_throughput - exact.system_throughput).abs()
+            / exact.system_throughput
+            < 0.03
+    );
+    for k in 0..3 {
+        assert!(
+            (sim.metrics.utilization[k] - exact.utilization[k]).abs() < 0.03,
+            "station {k}: sim {} vs exact {}",
+            sim.metrics.utilization[k],
+            exact.utilization[k]
+        );
+        assert!(bounds.utilization[k].contains(exact.utilization[k], 1e-5));
+    }
+}
+
+/// Burstiness degrades performance: the autocorrelated tandem has strictly
+/// lower throughput than the same tandem with renewal (uncorrelated) service
+/// of identical marginal distribution — the effect the paper's whole
+/// methodology is about.
+#[test]
+fn autocorrelation_degrades_throughput_at_fixed_marginal() {
+    let population = 12;
+    let correlated = figure4_tandem(population, 1.0, 8.0, 0.7, 1.25).unwrap();
+    let renewal = figure4_tandem(population, 1.0, 8.0, 0.0, 1.25).unwrap();
+    let x_corr = solve_exact(&correlated).unwrap().system_throughput;
+    let x_renewal = solve_exact(&renewal).unwrap().system_throughput;
+    assert!(
+        x_corr < x_renewal * 0.98,
+        "correlated {x_corr} should be visibly below renewal {x_renewal}"
+    );
+}
+
+/// The TPC-W template is solvable end to end by simulation and by MVA when
+/// the front server is exponential, and the two agree.
+#[test]
+fn tpcw_exponential_model_simulation_matches_mva() {
+    let params = TpcwParameters {
+        browsers: 24,
+        front_scv: 1.0,
+        front_acf_decay: 0.0,
+        ..TpcwParameters::default()
+    };
+    let network = tpcw_network(&params).unwrap();
+    let mva = mva_exact(&network).unwrap().metrics;
+    let sim = simulate(
+        &network,
+        &SimulationConfig {
+            total_completions: 300_000,
+            warmup_fraction: 0.1,
+            seed: 5,
+            collect_traces: false,
+            max_trace_events: 0,
+            cache_overrides: Vec::new(),
+        },
+    )
+    .unwrap();
+    assert!(
+        (sim.metrics.system_throughput - mva.system_throughput).abs() / mva.system_throughput
+            < 0.03
+    );
+    assert!((sim.metrics.utilization[1] - mva.utilization[1]).abs() < 0.03);
+    assert!((sim.metrics.utilization[2] - mva.utilization[2]).abs() < 0.03);
+}
