@@ -3,12 +3,27 @@
 //! descriptor computations and the simulation engine.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use mapqn_core::bounds::BoundOptions;
 use mapqn_core::statespace::build_state_space;
 use mapqn_core::templates::figure5_network;
-use mapqn_lp::{LpProblem, Sense};
+use mapqn_core::MarginalBoundSolver;
+use mapqn_lp::{LpProblem, RevisedSimplex, Sense, SimplexEngine, SimplexOptions};
 use mapqn_markov::{stationary_dense_gth, stationary_iterative, SteadyStateOptions};
 use mapqn_stochastic::{fit_map2, Map2FitSpec};
 use std::hint::black_box;
+
+fn staircase_lp(n: usize, m: usize) -> LpProblem {
+    let mut lp = LpProblem::new(n, Sense::Maximize);
+    let obj: Vec<(usize, f64)> = (0..n).map(|j| (j, 1.0 + (j % 5) as f64)).collect();
+    lp.set_objective(&obj);
+    for i in 0..m {
+        let terms: Vec<(usize, f64)> = (0..n)
+            .map(|j| (j, 0.1 + (((i * 13 + j * 7) % 11) as f64) / 11.0))
+            .collect();
+        lp.add_le(&terms, 50.0);
+    }
+    lp
+}
 
 fn bench_kernels(c: &mut Criterion) {
     let network = figure5_network(15, 16.0, 0.5).unwrap();
@@ -31,19 +46,47 @@ fn bench_kernels(c: &mut Criterion) {
         b.iter(|| fit_map2(black_box(&Map2FitSpec::new(1.0, 8.0, 0.6).with_skewness(6.0))).unwrap())
     });
     group.bench_function("simplex_dense_200x100", |b| {
+        let options = SimplexOptions {
+            engine: SimplexEngine::DenseTableau,
+            ..SimplexOptions::default()
+        };
         b.iter(|| {
-            let n = 100;
-            let m = 200;
-            let mut lp = LpProblem::new(n, Sense::Maximize);
-            let obj: Vec<(usize, f64)> = (0..n).map(|j| (j, 1.0 + (j % 5) as f64)).collect();
-            lp.set_objective(&obj);
-            for i in 0..m {
-                let terms: Vec<(usize, f64)> = (0..n)
-                    .map(|j| (j, 0.1 + (((i * 13 + j * 7) % 11) as f64) / 11.0))
-                    .collect();
-                lp.add_le(&terms, 50.0);
-            }
-            lp.solve().unwrap()
+            let lp = staircase_lp(100, 200);
+            lp.solve_with(black_box(&options)).unwrap()
+        })
+    });
+    group.bench_function("simplex_revised_200x100", |b| {
+        b.iter(|| {
+            let lp = staircase_lp(100, 200);
+            let mut engine = RevisedSimplex::new(&lp).unwrap();
+            engine.solve(&lp, &SimplexOptions::default()).unwrap()
+        })
+    });
+    // The headline comparison of the revised-engine PR: all bound LPs of a
+    // Figure 5 network, cold dense tableau vs warm-started revised simplex
+    // (see the `bench_lp` binary for the full BENCH_lp.json harness).
+    let bounds_network = figure5_network(6, 4.0, 0.5).unwrap();
+    group.bench_function("marginal_bound_all_dense_cold_n6", |b| {
+        let options = BoundOptions {
+            simplex: SimplexOptions {
+                engine: SimplexEngine::DenseTableau,
+                ..SimplexOptions::default()
+            },
+            ..BoundOptions::default()
+        };
+        b.iter(|| {
+            MarginalBoundSolver::with_options(black_box(&bounds_network), options)
+                .unwrap()
+                .bound_all()
+                .unwrap()
+        })
+    });
+    group.bench_function("marginal_bound_all_revised_warm_n6", |b| {
+        b.iter(|| {
+            MarginalBoundSolver::new(black_box(&bounds_network))
+                .unwrap()
+                .bound_all()
+                .unwrap()
         })
     });
     group.finish();

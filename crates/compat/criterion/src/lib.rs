@@ -1,0 +1,193 @@
+//! Offline stand-in for the subset of the `criterion` crate API used by the
+//! `mapqn` workspace.
+//!
+//! Implements a small wall-clock benchmark harness behind `criterion`'s
+//! call-site syntax: `Criterion::benchmark_group`, `sample_size`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `Bencher::iter` and
+//! the `criterion_group!` / `criterion_main!` macros. Each benchmark runs one
+//! warm-up iteration followed by `sample_size` timed iterations and prints
+//! min / mean / max to stdout. Statistical analysis, plots and baselines of
+//! the real crate are out of scope.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to the functions registered via [`criterion_group!`].
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("benchmark group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// Identifier combining a function name and an input parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    rendered: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            rendered: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.rendered)
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark with no explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(&self.name, &id.to_string());
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher, input);
+        bencher.report(&self.name, &id.to_string());
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Timer handed to the benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`: one warm-up call, then `sample_size` timed calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.samples.is_empty() {
+            println!("  {group}/{id}: no samples recorded");
+            return;
+        }
+        let min = self.samples.iter().min().expect("non-empty");
+        let max = self.samples.iter().max().expect("non-empty");
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        println!(
+            "  {group}/{id}: min {min:?}  mean {mean:?}  max {max:?}  ({} samples)",
+            self.samples.len()
+        );
+    }
+}
+
+/// Registers benchmark functions under a group name, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            // `cargo test`/`cargo bench` pass harness flags like `--bench`;
+            // none require action in this shim.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_to", 50u64), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_and_reports() {
+        criterion_group!(benches, sample_bench);
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_renders_name_and_parameter() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+    }
+}

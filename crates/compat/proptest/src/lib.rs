@@ -1,0 +1,152 @@
+//! Offline stand-in for the subset of the `proptest` crate API used by the
+//! `mapqn` workspace.
+//!
+//! Supports the `proptest!` macro with an optional
+//! `#![proptest_config(...)]` header, range strategies for floats and
+//! integers (`1.0f64..12.0`, `2usize..7`), and the `prop_assert!` /
+//! `prop_assert_eq!` assertions. Test cases are generated deterministically
+//! from a fixed seed; shrinking is not implemented (failures report the
+//! concrete sampled values through the assertion message instead).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub use rand;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of test cases to generate per property.
+    pub cases: u32,
+    /// Accepted for API compatibility; this shim never shrinks.
+    pub max_shrink_iters: u32,
+    /// Accepted for API compatibility; this shim never persists failures.
+    pub failure_persistence: Option<()>,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_shrink_iters: 0,
+            failure_persistence: None,
+        }
+    }
+}
+
+/// A source of test values, implemented for half-open ranges.
+pub trait Strategy {
+    /// The type of value produced.
+    type Value;
+
+    /// Draws one value.
+    fn sample_value(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T: rand::SampleUniform> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn sample_value(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Asserts a property holds; panics (failing the test case) otherwise.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts two values are equal; panics (failing the test case) otherwise.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Declares property tests. Each function runs `config.cases` times with
+/// arguments freshly sampled from their strategies.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr) ) => {};
+    (
+        ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            use $crate::rand::SeedableRng as _;
+            let config: $crate::ProptestConfig = $config;
+            // Seed derived from the property name so distinct properties
+            // explore distinct deterministic sequences.
+            let seed = stringify!($name)
+                .bytes()
+                .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                    (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+                });
+            let mut rng = $crate::rand::rngs::StdRng::seed_from_u64(seed);
+            for _case in 0..config.cases {
+                $(let $arg = $crate::Strategy::sample_value(&($strat), &mut rng);)+
+                { $body }
+            }
+        }
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig {
+            cases: 16,
+            max_shrink_iters: 0,
+            ..ProptestConfig::default()
+        })]
+
+        /// Sampled values respect their strategies.
+        #[test]
+        fn ranges_are_respected(
+            x in 1.0f64..12.0,
+            n in 2usize..7,
+        ) {
+            prop_assert!((1.0..12.0).contains(&x));
+            prop_assert!((2..7).contains(&n));
+            prop_assert_eq!(n, n);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_also_works(v in 0.0f64..1.0) {
+            prop_assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

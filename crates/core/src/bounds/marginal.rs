@@ -48,7 +48,10 @@
 use super::{BoundInterval, PerformanceIndex};
 use crate::network::ClosedNetwork;
 use crate::{CoreError, Result};
-use mapqn_lp::{LpProblem, LpStatus, Sense, SimplexOptions};
+use mapqn_lp::{
+    Basis, LpProblem, LpSolution, LpStatus, RevisedSimplex, Sense, SimplexEngine, SimplexOptions,
+};
+use std::cell::RefCell;
 
 /// Which optional constraint families to include (the mandatory ones —
 /// normalization, population, consistency — are always added).
@@ -123,12 +126,12 @@ impl VariableLayout {
             cursor += levels * ph;
         }
         let mut b_offsets = vec![vec![0usize; m]; m];
-        for j in 0..m {
-            for k in 0..m {
+        for (j, row) in b_offsets.iter_mut().enumerate() {
+            for (k, slot) in row.iter_mut().enumerate() {
                 if j == k {
                     continue;
                 }
-                b_offsets[j][k] = cursor;
+                *slot = cursor;
                 cursor += levels * phases[j];
             }
         }
@@ -152,15 +155,79 @@ impl VariableLayout {
         debug_assert_ne!(j, k);
         self.b_offsets[j][k] + n * self.phases[j] + h_j
     }
+
+    /// Reverse lookup: which marginal term does structural variable `idx`
+    /// represent? Used to translate a basis between solvers of the same
+    /// network at different populations.
+    fn decode(&self, idx: usize) -> Option<MarginalVar> {
+        let levels = self.population + 1;
+        for k in 0..self.m {
+            let start = self.p_offsets[k];
+            let len = levels * self.phases[k];
+            if idx >= start && idx < start + len {
+                let rel = idx - start;
+                return Some(MarginalVar::P {
+                    k,
+                    n: rel / self.phases[k],
+                    h: rel % self.phases[k],
+                });
+            }
+        }
+        for j in 0..self.m {
+            for k in 0..self.m {
+                if j == k {
+                    continue;
+                }
+                let start = self.b_offsets[j][k];
+                let len = levels * self.phases[j];
+                if idx >= start && idx < start + len {
+                    let rel = idx - start;
+                    return Some(MarginalVar::B {
+                        j,
+                        k,
+                        n: rel / self.phases[j],
+                        h: rel % self.phases[j],
+                    });
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Semantic identity of a structural LP variable (see [`VariableLayout`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MarginalVar {
+    /// `p_k(n, h)`.
+    P { k: usize, n: usize, h: usize },
+    /// `b_{j,k}(n, h_j)`.
+    B { j: usize, k: usize, n: usize, h: usize },
+}
+
+/// Warm-start state of the revised LP engine: the engine bound to this
+/// solver's constraint set plus the most recent optimal basis (which seeds
+/// the next solve, making phase 1 a once-per-network cost).
+struct WarmState {
+    engine: RevisedSimplex,
+    basis: Basis,
 }
 
 /// The bound solver: builds the constraint set once and solves a pair of
 /// LPs (min / max) per requested performance index.
+///
+/// With the default [`SimplexEngine::Revised`] the solver runs phase 1
+/// **once** per network, caches the resulting basis, and warm starts every
+/// subsequent objective (both senses of every index queried by
+/// [`MarginalBoundSolver::bound_all`]) from the previous optimum. Selecting
+/// [`SimplexEngine::DenseTableau`] through
+/// [`BoundOptions::simplex`] reproduces the original cold dense-tableau
+/// behaviour, which is kept as a correctness oracle.
 pub struct MarginalBoundSolver {
     network: ClosedNetwork,
     options: BoundOptions,
     layout: VariableLayout,
     base: LpProblem,
+    warm: RefCell<Option<WarmState>>,
 }
 
 impl MarginalBoundSolver {
@@ -192,6 +259,7 @@ impl MarginalBoundSolver {
             options,
             layout,
             base,
+            warm: RefCell::new(None),
         })
     }
 
@@ -206,6 +274,21 @@ impl MarginalBoundSolver {
     #[must_use]
     pub fn num_constraints(&self) -> usize {
         self.base.num_constraints()
+    }
+
+    /// The underlying LP over the marginal probability terms (constraints
+    /// only; the objective is installed per performance index). Exposed for
+    /// the engine-equivalence tests and the benchmark harnesses.
+    #[must_use]
+    pub fn lp_problem(&self) -> &LpProblem {
+        &self.base
+    }
+
+    /// Sparse objective coefficients of a performance index over the LP's
+    /// variable numbering.
+    #[must_use]
+    pub fn objective_for(&self, index: PerformanceIndex) -> Vec<(usize, f64)> {
+        self.objective_terms(index)
     }
 
     /// Objective terms of a performance index.
@@ -255,55 +338,87 @@ impl MarginalBoundSolver {
     /// every supported functional is bounded).
     pub fn bound(&self, index: PerformanceIndex) -> Result<BoundInterval> {
         let terms = self.objective_terms(index);
-        let mut problem = self.base.clone();
-        problem.set_objective(&terms);
+        let lower = self.solve_checked(&terms, Sense::Minimize)?;
+        let upper = self.solve_checked(&terms, Sense::Maximize)?;
+        Ok(self.widen(&lower, &upper))
+    }
 
-        problem.set_sense(Sense::Minimize);
-        let lower = problem.solve_with(&self.options.simplex)?;
-        if lower.status != LpStatus::Optimal {
+    /// Solves one objective and insists on an optimal termination.
+    fn solve_checked(&self, terms: &[(usize, f64)], sense: Sense) -> Result<LpSolution> {
+        let solution = self.solve_objective(terms, sense)?;
+        if solution.status != LpStatus::Optimal {
             return Err(CoreError::BoundLpFailed(format!(
-                "lower-bound LP terminated with status {:?}",
-                lower.status
+                "{} LP terminated with status {:?}",
+                match sense {
+                    Sense::Minimize => "lower-bound",
+                    Sense::Maximize => "upper-bound",
+                },
+                solution.status
             )));
         }
-        problem.set_sense(Sense::Maximize);
-        let upper = problem.solve_with(&self.options.simplex)?;
-        if upper.status != LpStatus::Optimal {
-            return Err(CoreError::BoundLpFailed(format!(
-                "upper-bound LP terminated with status {:?}",
-                upper.status
-            )));
-        }
-        // The simplex terminates when every reduced cost is within its
-        // optimality tolerance, so the reported optima can fall short of the
-        // true LP optima by a small multiple of that tolerance (tolerance
-        // times the number of variables, conservatively). Widen the interval
-        // by that amount so the returned values remain valid bounds; the
-        // widening is orders of magnitude below the bound widths reported in
-        // the experiments.
-        let numeric_margin =
-            self.options.simplex.tolerance * 10.0 * self.layout.total as f64;
+        Ok(solution)
+    }
+
+    /// Assembles a valid interval from the two optima.
+    ///
+    /// The simplex terminates when every reduced cost is within its
+    /// optimality tolerance, so the reported optima can fall short of the
+    /// true LP optima by a small multiple of that tolerance (tolerance
+    /// times the number of variables, conservatively). Widen the interval
+    /// by that amount so the returned values remain valid bounds; the
+    /// widening is orders of magnitude below the bound widths reported in
+    /// the experiments.
+    fn widen(&self, lower: &LpSolution, upper: &LpSolution) -> BoundInterval {
+        let numeric_margin = self.options.simplex.tolerance * 10.0 * self.layout.total as f64;
         let slack = |value: f64| numeric_margin * (1.0 + value.abs());
-        Ok(BoundInterval::new(
+        BoundInterval::new(
             lower.objective - slack(lower.objective),
             upper.objective + slack(upper.objective),
-        ))
+        )
     }
 
     /// Computes bounds on every standard index of the network.
+    ///
+    /// All lower bounds are solved before all upper bounds: with the warm
+    /// started revised engine, consecutive same-sense objectives stop at
+    /// nearby vertices and re-price in a handful of pivots, while
+    /// alternating min/max would walk across the whole feasible polytope
+    /// once per index (measured at roughly twice the total pivot count).
     ///
     /// # Errors
     /// Propagates LP failures.
     pub fn bound_all(&self) -> Result<NetworkBounds> {
         let m = self.layout.m;
         let n = self.layout.population;
+        let indices: Vec<PerformanceIndex> = (0..m)
+            .flat_map(|k| {
+                [
+                    PerformanceIndex::Throughput(k),
+                    PerformanceIndex::Utilization(k),
+                    PerformanceIndex::MeanQueueLength(k),
+                ]
+            })
+            .collect();
+        let mut lowers = Vec::with_capacity(indices.len());
+        for &index in &indices {
+            lowers.push(self.solve_checked(&self.objective_terms(index), Sense::Minimize)?);
+        }
+        let mut uppers = Vec::with_capacity(indices.len());
+        for &index in &indices {
+            uppers.push(self.solve_checked(&self.objective_terms(index), Sense::Maximize)?);
+        }
+
         let mut throughput = Vec::with_capacity(m);
         let mut utilization = Vec::with_capacity(m);
         let mut mean_queue_length = Vec::with_capacity(m);
-        for k in 0..m {
-            throughput.push(self.bound(PerformanceIndex::Throughput(k))?);
-            utilization.push(self.bound(PerformanceIndex::Utilization(k))?);
-            mean_queue_length.push(self.bound(PerformanceIndex::MeanQueueLength(k))?);
+        for (lower_chunk, upper_chunk) in lowers.chunks_exact(3).zip(uppers.chunks_exact(3)) {
+            let mut pairs = lower_chunk.iter().zip(upper_chunk.iter());
+            let (tl, tu) = pairs.next().expect("three indices per station");
+            throughput.push(self.widen(tl, tu));
+            let (ul, uu) = pairs.next().expect("three indices per station");
+            utilization.push(self.widen(ul, uu));
+            let (ql, qu) = pairs.next().expect("three indices per station");
+            mean_queue_length.push(self.widen(ql, qu));
         }
         let system_throughput = throughput[0];
         let system_response_time = response_time_from_throughput(system_throughput, n);
@@ -325,6 +440,133 @@ impl MarginalBoundSolver {
     pub fn response_time_bounds(&self) -> Result<BoundInterval> {
         let x = self.bound(PerformanceIndex::SystemThroughput)?;
         Ok(response_time_from_throughput(x, self.layout.population))
+    }
+
+    /// Solves one objective over the cached constraint set, dispatching on
+    /// the configured engine. The revised path warm starts from the basis of
+    /// the previous solve and falls back to the dense oracle if the engine
+    /// reports a numerical failure.
+    fn solve_objective(&self, terms: &[(usize, f64)], sense: Sense) -> Result<LpSolution> {
+        if self.options.simplex.engine == SimplexEngine::DenseTableau {
+            return self.solve_dense(terms, sense);
+        }
+        match self.solve_revised(terms, sense) {
+            Ok(Some(solution)) => Ok(solution),
+            // Infeasible constraint set or numerical breakdown: let the
+            // oracle produce the authoritative answer (or error).
+            Ok(None) | Err(CoreError::Lp(_)) => self.solve_dense(terms, sense),
+            Err(other) => Err(other),
+        }
+    }
+
+    /// Revised-engine solve; `Ok(None)` means the engine could not produce
+    /// an optimal solution and the caller should fall back to the oracle.
+    fn solve_revised(&self, terms: &[(usize, f64)], sense: Sense) -> Result<Option<LpSolution>> {
+        let mut warm_slot = self.warm.borrow_mut();
+        if warm_slot.is_none() {
+            let mut engine =
+                RevisedSimplex::new(&self.base).map_err(CoreError::Lp)?;
+            let Some(basis) = engine
+                .find_feasible_basis(&self.options.simplex)
+                .map_err(CoreError::Lp)?
+            else {
+                return Ok(None);
+            };
+            *warm_slot = Some(WarmState { engine, basis });
+        }
+        let warm = warm_slot.as_mut().expect("initialized above");
+
+        let mut objective = vec![0.0; self.layout.total];
+        for &(idx, c) in terms {
+            objective[idx] += c;
+        }
+        let (solution, next_basis) = warm
+            .engine
+            .solve_from_basis(&objective, sense, &warm.basis, &self.options.simplex)
+            .map_err(CoreError::Lp)?;
+        if solution.status != LpStatus::Optimal {
+            return Ok(None);
+        }
+        warm.basis = next_basis;
+        Ok(Some(solution))
+    }
+
+    /// Cold dense-tableau solve (the original code path, kept as oracle).
+    fn solve_dense(&self, terms: &[(usize, f64)], sense: Sense) -> Result<LpSolution> {
+        let mut problem = self.base.clone();
+        problem.set_objective(terms);
+        problem.set_sense(sense);
+        let options = SimplexOptions {
+            engine: SimplexEngine::DenseTableau,
+            ..self.options.simplex
+        };
+        Ok(problem.solve_with(&options)?)
+    }
+
+    /// The basis cached from the most recent revised-engine solve, if any.
+    /// Together with [`MarginalBoundSolver::translate_basis_to`] this lets a
+    /// population sweep seed the next population's solver.
+    #[must_use]
+    pub fn warm_basis(&self) -> Option<Basis> {
+        self.warm.borrow().as_ref().map(|w| w.basis.clone())
+    }
+
+    /// Translates this solver's cached basis into the variable numbering of
+    /// `target` (the same network at a different population): every basic
+    /// marginal term `p_k(n, h)` / `b_{j,k}(n, h)` that also exists in the
+    /// target layout keeps its identity, everything else is dropped. The
+    /// result is a *candidate* basis — the engine repairs and
+    /// feasibility-checks it, falling back to a cold phase 1 when the
+    /// carried-over vertex is not feasible at the new population.
+    #[must_use]
+    pub fn translate_basis_to(&self, target: &MarginalBoundSolver) -> Option<Basis> {
+        let source = self.warm.borrow();
+        let basis = &source.as_ref()?.basis;
+        let mut columns = Vec::with_capacity(basis.columns().len());
+        for &col in basis.columns() {
+            let Some(var) = self.layout.decode(col) else {
+                continue;
+            };
+            let mapped = match var {
+                MarginalVar::P { k, n, h }
+                    if k < target.layout.m
+                        && n <= target.layout.population
+                        && h < target.layout.phases[k] =>
+                {
+                    target.layout.p(k, n, h)
+                }
+                MarginalVar::B { j, k, n, h }
+                    if j < target.layout.m
+                        && k < target.layout.m
+                        && n <= target.layout.population
+                        && h < target.layout.phases[j] =>
+                {
+                    target.layout.b(j, k, n, h)
+                }
+                _ => continue,
+            };
+            columns.push(mapped);
+        }
+        Some(Basis::from_columns(columns))
+    }
+
+    /// Seeds the revised engine with a starting basis (typically obtained
+    /// from [`MarginalBoundSolver::translate_basis_to`] on a neighbouring
+    /// population's solver). Invalid or infeasible seeds are repaired or
+    /// ignored by the engine, so this can only help.
+    ///
+    /// # Errors
+    /// Propagates LP construction failures.
+    pub fn seed_basis(&self, basis: Basis) -> Result<()> {
+        let mut warm_slot = self.warm.borrow_mut();
+        match warm_slot.as_mut() {
+            Some(warm) => warm.basis = basis,
+            None => {
+                let engine = RevisedSimplex::new(&self.base).map_err(CoreError::Lp)?;
+                *warm_slot = Some(WarmState { engine, basis });
+            }
+        }
+        Ok(())
     }
 }
 

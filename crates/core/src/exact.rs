@@ -171,9 +171,9 @@ mod tests {
         // Product form: pi(n1) ∝ (1/mu1)^{n1} (1/mu2)^{n-n1} ∝ (mu2/mu1)^{n1}.
         let weights: Vec<f64> = (0..=n).map(|i| rho.powi(i as i32)).collect();
         let total: f64 = weights.iter().sum();
-        for i in 0..=n {
+        for (i, w) in weights.iter().enumerate() {
             assert!(
-                approx_eq(metrics.queue_length_distribution[0][i], weights[i] / total, 1e-9),
+                approx_eq(metrics.queue_length_distribution[0][i], w / total, 1e-9),
                 "P[n1 = {i}]"
             );
         }
@@ -224,12 +224,12 @@ mod tests {
             weights.push(w);
         }
         let total: f64 = weights.iter().sum();
-        for k in 0..=n {
+        for (k, w) in weights.iter().enumerate() {
             assert!(
-                approx_eq(metrics.queue_length_distribution[1][k], weights[k] / total, 1e-9),
+                approx_eq(metrics.queue_length_distribution[1][k], w / total, 1e-9),
                 "P[repair queue = {k}]: {} vs {}",
                 metrics.queue_length_distribution[1][k],
-                weights[k] / total
+                w / total
             );
         }
         // Flow balance: repair throughput equals machine failure throughput.

@@ -1,0 +1,283 @@
+//! Sparse matrices in compressed sparse column (CSC) format.
+//!
+//! The revised simplex engine in `mapqn-lp` is column-oriented: pricing asks
+//! for `y^T a_j` over many columns `j`, and the ratio test asks for a single
+//! column `B^{-1} a_q`. Both want fast access to the non-zeros of one column,
+//! which is exactly what CSC stores contiguously ([`CsrMatrix`] is the
+//! row-oriented dual used by the CTMC solvers).
+//!
+//! [`CsrMatrix`]: crate::sparse::CsrMatrix
+
+use crate::sparse::{CsrMatrix, Triplet};
+use crate::{LinalgError, Result};
+
+/// Sparse matrix in compressed sparse column format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    rows: usize,
+    cols: usize,
+    /// Column pointer array of length `cols + 1`.
+    col_ptr: Vec<usize>,
+    /// Row indices of the stored entries, grouped by column and sorted.
+    row_idx: Vec<usize>,
+    /// Stored values, aligned with `row_idx`.
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Builds a CSC matrix from coordinate triplets `(row, col, value)`.
+    /// Duplicate `(row, col)` entries are summed.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::InvalidArgument`] when a triplet is out of
+    /// bounds.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[Triplet]) -> Result<Self> {
+        for &(r, c, _) in triplets {
+            if r >= rows || c >= cols {
+                return Err(LinalgError::InvalidArgument("triplet index out of bounds"));
+            }
+        }
+        let mut counts = vec![0usize; cols];
+        for &(_, c, _) in triplets {
+            counts[c] += 1;
+        }
+        let mut col_ptr = vec![0usize; cols + 1];
+        for j in 0..cols {
+            col_ptr[j + 1] = col_ptr[j] + counts[j];
+        }
+        let nnz = col_ptr[cols];
+        let mut row_idx = vec![0usize; nnz];
+        let mut values = vec![0.0; nnz];
+        let mut next = col_ptr.clone();
+        for &(r, c, v) in triplets {
+            let pos = next[c];
+            row_idx[pos] = r;
+            values[pos] = v;
+            next[c] += 1;
+        }
+        let mut m = Self {
+            rows,
+            cols,
+            col_ptr,
+            row_idx,
+            values,
+        };
+        m.sort_cols_and_merge_duplicates();
+        Ok(m)
+    }
+
+    /// Creates an empty (all-zero) matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            col_ptr: vec![0; cols + 1],
+            row_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    fn sort_cols_and_merge_duplicates(&mut self) {
+        let mut new_row_idx = Vec::with_capacity(self.row_idx.len());
+        let mut new_values = Vec::with_capacity(self.values.len());
+        let mut new_col_ptr = vec![0usize; self.cols + 1];
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for j in 0..self.cols {
+            scratch.clear();
+            for k in self.col_ptr[j]..self.col_ptr[j + 1] {
+                scratch.push((self.row_idx[k], self.values[k]));
+            }
+            scratch.sort_by_key(|&(r, _)| r);
+            let mut i = 0;
+            while i < scratch.len() {
+                let row = scratch[i].0;
+                let mut val = scratch[i].1;
+                let mut k = i + 1;
+                while k < scratch.len() && scratch[k].0 == row {
+                    val += scratch[k].1;
+                    k += 1;
+                }
+                new_row_idx.push(row);
+                new_values.push(val);
+                i = k;
+            }
+            new_col_ptr[j + 1] = new_row_idx.len();
+        }
+        self.row_idx = new_row_idx;
+        self.values = new_values;
+        self.col_ptr = new_col_ptr;
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (structurally non-zero) entries.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterator over the stored entries of column `j` as `(row, value)`
+    /// pairs, sorted by row.
+    ///
+    /// # Panics
+    /// Panics if `j` is out of range.
+    pub fn col_iter(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        assert!(j < self.cols, "column index {j} out of range");
+        let start = self.col_ptr[j];
+        let end = self.col_ptr[j + 1];
+        self.row_idx[start..end]
+            .iter()
+            .copied()
+            .zip(self.values[start..end].iter().copied())
+    }
+
+    /// Row indices and values of column `j` as parallel slices.
+    ///
+    /// # Panics
+    /// Panics if `j` is out of range.
+    #[must_use]
+    pub fn col_slices(&self, j: usize) -> (&[usize], &[f64]) {
+        assert!(j < self.cols, "column index {j} out of range");
+        let start = self.col_ptr[j];
+        let end = self.col_ptr[j + 1];
+        (&self.row_idx[start..end], &self.values[start..end])
+    }
+
+    /// Dot product of column `j` with a dense vector of length `nrows`.
+    ///
+    /// # Panics
+    /// Panics if `j` is out of range or `x` is too short.
+    #[must_use]
+    pub fn col_dot(&self, j: usize, x: &[f64]) -> f64 {
+        let (rows, vals) = self.col_slices(j);
+        let mut s = 0.0;
+        for (&r, &v) in rows.iter().zip(vals) {
+            s += v * x[r];
+        }
+        s
+    }
+
+    /// Value at `(r, c)`; zero when the entry is not stored.
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        if r >= self.rows || c >= self.cols {
+            return 0.0;
+        }
+        for k in self.col_ptr[c]..self.col_ptr[c + 1] {
+            if self.row_idx[k] == r {
+                return self.values[k];
+            }
+        }
+        0.0
+    }
+
+    /// Converts a CSR matrix into CSC form.
+    #[must_use]
+    pub fn from_csr(csr: &CsrMatrix) -> Self {
+        let mut triplets = Vec::with_capacity(csr.nnz());
+        for r in 0..csr.nrows() {
+            for (c, v) in csr.row_iter(r) {
+                triplets.push((r, c, v));
+            }
+        }
+        Self::from_triplets(csr.nrows(), csr.ncols(), &triplets)
+            .expect("from_csr: indices are in range by construction")
+    }
+
+    /// Converts to a dense matrix (tests and small problems only).
+    #[must_use]
+    pub fn to_dense(&self) -> crate::dense::DMatrix {
+        let mut m = crate::dense::DMatrix::zeros(self.rows, self.cols);
+        for j in 0..self.cols {
+            for (r, v) in self.col_iter(j) {
+                m[(r, j)] += v;
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DMatrix;
+
+    fn sample() -> CscMatrix {
+        // [ 1 0 2 ]
+        // [ 0 3 0 ]
+        CscMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]).unwrap()
+    }
+
+    #[test]
+    fn from_triplets_and_get() {
+        let m = sample();
+        assert_eq!(m.nrows(), 2);
+        assert_eq!(m.ncols(), 3);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(1, 0), 0.0);
+        assert_eq!(m.get(0, 2), 2.0);
+        assert_eq!(m.get(9, 9), 0.0);
+    }
+
+    #[test]
+    fn duplicates_are_summed_and_columns_sorted() {
+        let m = CscMatrix::from_triplets(3, 1, &[(2, 0, 1.0), (0, 0, 2.0), (2, 0, 0.5)]).unwrap();
+        assert_eq!(m.nnz(), 2);
+        let entries: Vec<(usize, f64)> = m.col_iter(0).collect();
+        assert_eq!(entries, vec![(0, 2.0), (2, 1.5)]);
+    }
+
+    #[test]
+    fn out_of_bounds_triplet_is_rejected() {
+        assert!(CscMatrix::from_triplets(1, 1, &[(1, 0, 1.0)]).is_err());
+        assert!(CscMatrix::from_triplets(1, 1, &[(0, 1, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn col_dot_matches_dense() {
+        let m = sample();
+        let x = [2.0, 5.0];
+        assert_eq!(m.col_dot(0, &x), 2.0);
+        assert_eq!(m.col_dot(1, &x), 15.0);
+        assert_eq!(m.col_dot(2, &x), 4.0);
+    }
+
+    #[test]
+    fn col_slices_expose_sorted_entries() {
+        let m = sample();
+        let (rows, vals) = m.col_slices(2);
+        assert_eq!(rows, &[0]);
+        assert_eq!(vals, &[2.0]);
+    }
+
+    #[test]
+    fn from_csr_round_trips_through_dense() {
+        let csr = CsrMatrix::from_triplets(
+            3,
+            2,
+            &[(0, 1, 4.0), (2, 0, -1.0), (1, 1, 2.0), (2, 1, 7.0)],
+        )
+        .unwrap();
+        let csc = CscMatrix::from_csr(&csr);
+        assert_eq!(csc.to_dense(), csr.to_dense());
+    }
+
+    #[test]
+    fn zeros_and_to_dense() {
+        let z = CscMatrix::zeros(2, 2);
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.to_dense(), DMatrix::zeros(2, 2));
+    }
+}

@@ -13,7 +13,9 @@
 //! * Kronecker products and sums (used when composing independent MAP phase
 //!   processes),
 //! * sparse CSR matrices with matrix-vector products for large
-//!   continuous-time Markov chain generators ([`sparse::CsrMatrix`]),
+//!   continuous-time Markov chain generators ([`sparse::CsrMatrix`]) and
+//!   their column-oriented CSC dual used by the revised simplex engine in
+//!   `mapqn-lp` ([`csc::CscMatrix`]),
 //! * simple iterative kernels (power iteration, Gauss–Seidel sweeps) used by
 //!   the steady-state solvers in `mapqn-markov`.
 //!
@@ -29,6 +31,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod csc;
 pub mod dense;
 pub mod kron;
 pub mod lu;
@@ -36,6 +39,7 @@ pub mod norms;
 pub mod sparse;
 pub mod vector;
 
+pub use csc::CscMatrix;
 pub use dense::DMatrix;
 pub use kron::{kron, kron_sum};
 pub use lu::Lu;

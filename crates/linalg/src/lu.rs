@@ -26,6 +26,10 @@ pub struct Lu {
     perm: Vec<usize>,
     /// Sign of the permutation (+1.0 or -1.0), used for determinants.
     perm_sign: f64,
+    /// Optional transposed copy of the packed factors (see
+    /// [`Lu::cache_transpose`]): turns the column-strided memory accesses of
+    /// the transpose solve into contiguous row scans.
+    lu_t: Option<DMatrix>,
 }
 
 /// Pivot threshold below which a matrix is reported as singular.
@@ -88,7 +92,24 @@ impl Lu {
             lu,
             perm,
             perm_sign,
+            lu_t: None,
         })
+    }
+
+    /// Caches a transposed copy of the packed factors so that subsequent
+    /// transpose solves scan memory contiguously. Costs `O(n^2)` time and
+    /// memory once; worthwhile when many transpose solves follow (the BTRAN
+    /// of the revised simplex runs one per pivot).
+    pub fn cache_transpose(&mut self) {
+        let n = self.order();
+        let mut t = DMatrix::zeros(n, n);
+        for i in 0..n {
+            let row = self.lu.row(i);
+            for (j, &v) in row.iter().enumerate() {
+                t[(j, i)] = v;
+            }
+        }
+        self.lu_t = Some(t);
     }
 
     /// Order of the factorized matrix.
@@ -110,24 +131,143 @@ impl Lu {
                 right: (b.len(), 1),
             });
         }
-        // Apply permutation: y = P b.
-        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
-        // Forward substitution with unit lower-triangular L.
+        let mut x: Vec<f64> = b.as_slice().to_vec();
+        self.solve_in_place(&mut x);
+        Ok(DVector::from_vec(x))
+    }
+
+    /// Solves `A x = b` overwriting `b` with the solution. Allocates a
+    /// scratch buffer; hot paths should prefer
+    /// [`Lu::solve_in_place_with_scratch`].
+    ///
+    /// # Panics
+    /// Panics if `b.len()` differs from the matrix order.
+    pub fn solve_in_place(&self, b: &mut [f64]) {
+        let mut scratch = vec![0.0; self.order()];
+        self.solve_in_place_with_scratch(b, &mut scratch);
+    }
+
+    /// Solves `A x = b` overwriting `b`, reusing `scratch` (resized as
+    /// needed). This is the allocation-free kernel behind [`Lu::solve`],
+    /// used on the hot path of the revised simplex (FTRAN).
+    ///
+    /// # Panics
+    /// Panics if `b.len()` differs from the matrix order.
+    pub fn solve_in_place_with_scratch(&self, b: &mut [f64], scratch: &mut Vec<f64>) {
+        let n = self.order();
+        assert_eq!(b.len(), n, "lu solve_in_place: wrong rhs length");
+        // Apply permutation: x = P b.
+        scratch.clear();
+        scratch.extend(self.perm.iter().map(|&p| b[p]));
+        let x = scratch.as_mut_slice();
+        // Forward substitution with unit lower-triangular L (row-contiguous).
         for i in 1..n {
+            let row = self.lu.row(i);
             let mut s = x[i];
-            for j in 0..i {
-                s -= self.lu[(i, j)] * x[j];
+            for (lij, xj) in row[..i].iter().zip(x[..i].iter()) {
+                s -= lij * xj;
             }
             x[i] = s;
         }
-        // Back substitution with U.
+        // Back substitution with U (row-contiguous).
         for i in (0..n).rev() {
+            let row = self.lu.row(i);
             let mut s = x[i];
-            for j in (i + 1)..n {
-                s -= self.lu[(i, j)] * x[j];
+            for (uij, xj) in row[i + 1..].iter().zip(x[i + 1..].iter()) {
+                s -= uij * xj;
             }
-            x[i] = s / self.lu[(i, i)];
+            x[i] = s / row[i];
         }
+        b.copy_from_slice(x);
+    }
+
+    /// Solves `A^T x = b` overwriting `b` with the solution (BTRAN of the
+    /// revised simplex: with `P A = L U`, solve `U^T z = b`, `L^T w = z`,
+    /// then undo the row permutation). Allocates a scratch buffer; hot paths
+    /// should prefer [`Lu::solve_transpose_in_place_with_scratch`].
+    ///
+    /// # Panics
+    /// Panics if `b.len()` differs from the matrix order.
+    pub fn solve_transpose_in_place(&self, b: &mut [f64]) {
+        let mut scratch = vec![0.0; self.order()];
+        self.solve_transpose_in_place_with_scratch(b, &mut scratch);
+    }
+
+    /// Solves `A^T x = b` overwriting `b`, reusing `scratch` (resized as
+    /// needed).
+    ///
+    /// # Panics
+    /// Panics if `b.len()` differs from the matrix order.
+    pub fn solve_transpose_in_place_with_scratch(&self, b: &mut [f64], scratch: &mut Vec<f64>) {
+        let n = self.order();
+        assert_eq!(b.len(), n, "lu solve_transpose_in_place: wrong rhs length");
+        if let Some(t) = &self.lu_t {
+            // Contiguous path: row `i` of the cached transpose is column `i`
+            // of the packed storage.
+            // Forward substitution with U^T (lower triangular, diag of U).
+            for i in 0..n {
+                let row = t.row(i);
+                let mut s = b[i];
+                for (uji, bj) in row[..i].iter().zip(b[..i].iter()) {
+                    s -= uji * bj;
+                }
+                b[i] = s / row[i];
+            }
+            // Back substitution with L^T (unit upper triangular).
+            for i in (0..n).rev() {
+                let row = t.row(i);
+                let mut s = b[i];
+                for (lji, bj) in row[i + 1..].iter().zip(b[i + 1..].iter()) {
+                    s -= lji * bj;
+                }
+                b[i] = s;
+            }
+        } else {
+            let data = self.lu.as_slice();
+            // Forward substitution with U^T (lower triangular, diagonal of
+            // U). Row `i` of U^T is column `i` of the packed storage
+            // (stride n).
+            for i in 0..n {
+                let mut s = b[i];
+                for (j, bj) in b[..i].iter().enumerate() {
+                    s -= data[j * n + i] * bj;
+                }
+                b[i] = s / data[i * n + i];
+            }
+            // Back substitution with L^T (unit upper triangular).
+            for i in (0..n).rev() {
+                let mut s = b[i];
+                for (off, bj) in b[i + 1..].iter().enumerate() {
+                    let j = i + 1 + off;
+                    s -= data[j * n + i] * bj;
+                }
+                b[i] = s;
+            }
+        }
+        // x = P^T w, i.e. x[perm[i]] = w[i].
+        scratch.clear();
+        scratch.resize(n, 0.0);
+        for (i, &p) in self.perm.iter().enumerate() {
+            scratch[p] = b[i];
+        }
+        b.copy_from_slice(scratch);
+    }
+
+    /// Solves `A^T x = b` for a single right-hand side.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] if `b` has the wrong length.
+    pub fn solve_transpose(&self, b: &DVector) -> Result<DVector> {
+        let n = self.order();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                context: "lu solve_transpose",
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        let mut x: Vec<f64> = b.as_slice().to_vec();
+        self.solve_transpose_in_place(&mut x);
         Ok(DVector::from_vec(x))
     }
 
@@ -278,6 +418,42 @@ mod tests {
         // x should be the inverse of a.
         let prod = a.matmul(&x).unwrap();
         assert!(prod.max_abs_diff(&DMatrix::identity(2)).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn transpose_solve_matches_explicit_transpose() {
+        let a = DMatrix::from_row_slice(3, 3, &[0.0, 2.0, 1.0, 3.0, 5.0, 2.0, 1.0, 3.0, 6.0]);
+        let b = DVector::from_vec(vec![1.0, -2.0, 4.0]);
+        let lu = Lu::new(&a).unwrap();
+        let x = lu.solve_transpose(&b).unwrap();
+        // Check A^T x = b directly.
+        for j in 0..3 {
+            let mut s = 0.0;
+            for i in 0..3 {
+                s += a[(i, j)] * x[i];
+            }
+            assert!(approx_eq(s, b[j], 1e-12), "col {j}: {s} != {}", b[j]);
+        }
+        assert!(lu.solve_transpose(&DVector::zeros(2)).is_err());
+    }
+
+    #[test]
+    fn in_place_solves_match_allocating_solves() {
+        let a = DMatrix::from_row_slice(3, 3, &[4.0, 2.0, 1.0, 2.0, 5.0, 3.0, 1.0, 3.0, 6.0]);
+        let b = DVector::from_vec(vec![1.0, 2.0, 3.0]);
+        let lu = Lu::new(&a).unwrap();
+        let mut x = b.as_slice().to_vec();
+        lu.solve_in_place(&mut x);
+        let reference = lu.solve(&b).unwrap();
+        for i in 0..3 {
+            assert!(approx_eq(x[i], reference[i], 1e-14));
+        }
+        let mut y = b.as_slice().to_vec();
+        lu.solve_transpose_in_place(&mut y);
+        let reference_t = lu.solve_transpose(&b).unwrap();
+        for i in 0..3 {
+            assert!(approx_eq(y[i], reference_t[i], 1e-14));
+        }
     }
 
     #[test]

@@ -207,12 +207,12 @@ impl CsrMatrix {
         }
         let xs = x.as_slice();
         let mut y = vec![0.0; self.rows];
-        for r in 0..self.rows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let mut s = 0.0;
             for k in self.row_ptr[r]..self.row_ptr[r + 1] {
                 s += self.values[k] * xs[self.col_idx[k]];
             }
-            y[r] = s;
+            *yr = s;
         }
         Ok(DVector::from_vec(y))
     }
@@ -235,8 +235,7 @@ impl CsrMatrix {
         }
         let xs = x.as_slice();
         let mut y = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            let xr = xs[r];
+        for (r, &xr) in xs.iter().enumerate() {
             if xr == 0.0 {
                 continue;
             }

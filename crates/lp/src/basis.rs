@@ -1,0 +1,336 @@
+//! Basis bookkeeping for the revised simplex engine.
+//!
+//! The revised simplex never forms `B^{-1}` explicitly. This module keeps an
+//! LU factorization of the basis matrix `B` (computed with the dense
+//! [`Lu`](mapqn_linalg::Lu) of `mapqn-linalg`) together with a *product-form*
+//! eta file recording the pivots performed since the last refactorization:
+//!
+//! ```text
+//! B_k = B_0 · E_1 · E_2 · … · E_k
+//! ```
+//!
+//! where each `E_i` is the identity with one column replaced by the FTRAN
+//! result `d = B_{i-1}^{-1} a_q` of the entering column. Solves with `B_k`
+//! (FTRAN) and `B_k^T` (BTRAN) then cost one triangular solve plus `O(m)`
+//! per eta. When the eta file grows past a threshold the basis is
+//! refactorized from scratch, which also curbs the numerical drift of the
+//! product form.
+//!
+//! The module also provides [`complete_basis`], a "crash" routine that turns
+//! an arbitrary candidate column set (for instance a basis carried over from
+//! a related problem) into a nonsingular basis by Gaussian elimination,
+//! filling uncovered pivot rows with artificial columns.
+
+use mapqn_linalg::{DMatrix, Lu};
+
+/// Abstract access to the columns of the standard-form constraint matrix
+/// (structural + slack columns stored sparse, artificial columns implicit).
+pub(crate) trait ColumnSource {
+    /// Number of constraint rows.
+    fn num_rows(&self) -> usize;
+
+    /// Adds column `j` into the dense buffer `out` (callers pass a zeroed
+    /// buffer of length `num_rows()`).
+    fn scatter_column(&self, j: usize, out: &mut [f64]);
+}
+
+/// One product-form update: the entering column's FTRAN image `d` and the
+/// basis position it pivoted on, stored sparsely — the `d` vectors of the
+/// heavily degenerate bound LPs are mostly zeros, and the eta file is
+/// applied twice per pivot (FTRAN + BTRAN), so the sparse form is where the
+/// engine's per-iteration time goes from `O(etas · m)` to `O(etas · nnz)`.
+struct Eta {
+    position: usize,
+    /// `d[position]`, the pivot element.
+    pivot: f64,
+    /// Non-zero entries of `d` excluding the pivot position.
+    entries: Vec<(u32, f64)>,
+}
+
+/// Minimum number of etas accumulated before the basis is refactorized. The
+/// effective interval scales with the basis order `m`: a refactorization
+/// costs `O(m^3)`, an eta costs `O(m)` per solve, so refactorizing every
+/// `~m` pivots balances the two (refactorizing every 64 pivots made the
+/// `O(m^3)` term dominate the whole solve for `m` in the hundreds).
+pub(crate) const REFACTOR_INTERVAL: usize = 64;
+
+/// LU-factored basis with a product-form eta file.
+pub(crate) struct BasisFactor {
+    lu: Lu,
+    etas: Vec<Eta>,
+    /// Scratch buffer reused by the LU solves (FTRAN/BTRAN run thousands of
+    /// times per solve; allocating per call is measurable).
+    scratch: Vec<f64>,
+}
+
+impl BasisFactor {
+    /// Factorizes the basis matrix whose columns are `basis` (in position
+    /// order). Returns `None` when the matrix is (numerically) singular.
+    pub(crate) fn factorize(src: &dyn ColumnSource, basis: &[usize]) -> Option<Self> {
+        let m = src.num_rows();
+        debug_assert_eq!(basis.len(), m);
+        let mut dense = DMatrix::zeros(m, m);
+        let mut buf = vec![0.0; m];
+        for (position, &col) in basis.iter().enumerate() {
+            buf.fill(0.0);
+            src.scatter_column(col, &mut buf);
+            for (i, &v) in buf.iter().enumerate() {
+                dense[(i, position)] = v;
+            }
+        }
+        let mut lu = Lu::new(&dense).ok()?;
+        // BTRAN runs once per pivot; the transposed copy makes it scan
+        // memory contiguously.
+        lu.cache_transpose();
+        Some(Self {
+            lu,
+            etas: Vec::new(),
+            scratch: vec![0.0; m],
+        })
+    }
+
+    /// Number of etas accumulated since the last refactorization.
+    pub(crate) fn eta_count(&self) -> usize {
+        self.etas.len()
+    }
+
+    /// Whether the eta file is long enough that the caller should
+    /// refactorize.
+    pub(crate) fn should_refactorize(&self) -> bool {
+        self.etas.len() >= REFACTOR_INTERVAL.max(self.lu.order())
+    }
+
+    /// FTRAN: overwrites `x` with `B^{-1} x`.
+    pub(crate) fn ftran(&mut self, x: &mut [f64]) {
+        self.lu.solve_in_place_with_scratch(x, &mut self.scratch);
+        for eta in &self.etas {
+            let r = eta.position;
+            let xr = x[r] / eta.pivot;
+            if xr != 0.0 {
+                for &(i, di) in &eta.entries {
+                    x[i as usize] -= di * xr;
+                }
+            }
+            x[r] = xr;
+        }
+    }
+
+    /// BTRAN: overwrites `y` with `B^{-T} y`.
+    pub(crate) fn btran(&mut self, y: &mut [f64]) {
+        for eta in self.etas.iter().rev() {
+            let r = eta.position;
+            let mut s = y[r];
+            for &(i, di) in &eta.entries {
+                s -= di * y[i as usize];
+            }
+            y[r] = s / eta.pivot;
+        }
+        self.lu.solve_transpose_in_place_with_scratch(y, &mut self.scratch);
+    }
+
+    /// Records the pivot `basis[position] <- entering column` whose FTRAN
+    /// image was `d` (`d[position]` is the pivot element).
+    pub(crate) fn push_eta(&mut self, position: usize, d: &[f64]) {
+        debug_assert!(d[position] != 0.0, "eta pivot must be non-zero");
+        let entries = d
+            .iter()
+            .enumerate()
+            .filter(|&(i, &v)| i != position && v != 0.0)
+            .map(|(i, &v)| (i as u32, v))
+            .collect();
+        self.etas.push(Eta {
+            position,
+            pivot: d[position],
+            entries,
+        });
+    }
+}
+
+/// Pivot threshold for accepting a candidate column during basis completion.
+/// Deliberately conservative: a candidate whose eliminated image is this
+/// small is treated as dependent and replaced by an artificial, so that the
+/// repaired basis factorizes robustly.
+const CRASH_PIVOT_TOL: f64 = 1e-7;
+
+/// Builds a nonsingular basis from `candidates` (tried in order), filling
+/// rows no candidate can cover with the artificial column of that row
+/// (`artificial_base + row`). The returned basis always has exactly `m`
+/// linearly independent columns.
+pub(crate) fn complete_basis(
+    src: &dyn ColumnSource,
+    candidates: &[usize],
+    artificial_base: usize,
+) -> Vec<usize> {
+    let m = src.num_rows();
+    let mut chosen: Vec<usize> = Vec::with_capacity(m);
+    // For every accepted column: its pivot row and its eliminated image.
+    let mut pivots: Vec<(usize, Vec<f64>)> = Vec::new();
+    let mut row_used = vec![false; m];
+    let mut seen = std::collections::HashSet::new();
+    let mut buf = vec![0.0; m];
+
+    for &c in candidates {
+        if chosen.len() == m {
+            break;
+        }
+        if c >= artificial_base + m || !seen.insert(c) {
+            continue;
+        }
+        buf.fill(0.0);
+        src.scatter_column(c, &mut buf);
+        // Eliminate against the columns accepted so far (in order).
+        for (pr, pcol) in &pivots {
+            let f = buf[*pr] / pcol[*pr];
+            if f != 0.0 {
+                for (i, &pv) in pcol.iter().enumerate() {
+                    if pv != 0.0 {
+                        buf[i] -= f * pv;
+                    }
+                }
+                buf[*pr] = 0.0;
+            }
+        }
+        // Pick the largest remaining entry in an unused row as the pivot.
+        let mut best: Option<(usize, f64)> = None;
+        for (i, &v) in buf.iter().enumerate() {
+            if !row_used[i] && v.abs() > best.map_or(CRASH_PIVOT_TOL, |(_, bv)| bv) {
+                best = Some((i, v.abs()));
+            }
+        }
+        if let Some((r, _)) = best {
+            row_used[r] = true;
+            pivots.push((r, buf.clone()));
+            chosen.push(c);
+        }
+    }
+    for (r, used) in row_used.iter().enumerate() {
+        if !used {
+            chosen.push(artificial_base + r);
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapqn_linalg::CscMatrix;
+
+    struct CscSource {
+        csc: CscMatrix,
+        artificial_base: usize,
+    }
+
+    impl ColumnSource for CscSource {
+        fn num_rows(&self) -> usize {
+            self.csc.nrows()
+        }
+
+        fn scatter_column(&self, j: usize, out: &mut [f64]) {
+            if j >= self.artificial_base {
+                out[j - self.artificial_base] += 1.0;
+            } else {
+                for (r, v) in self.csc.col_iter(j) {
+                    out[r] += v;
+                }
+            }
+        }
+    }
+
+    fn sample_source() -> CscSource {
+        // Columns: [1 0; 2 1], [0; 3], [2 0; 4 2]^T laid out as 2x3:
+        // col0 = (1, 2), col1 = (0, 3), col2 = (2, 4).
+        let csc = CscMatrix::from_triplets(
+            2,
+            3,
+            &[(0, 0, 1.0), (1, 0, 2.0), (1, 1, 3.0), (0, 2, 2.0), (1, 2, 4.0)],
+        )
+        .unwrap();
+        CscSource {
+            csc,
+            artificial_base: 3,
+        }
+    }
+
+    #[test]
+    fn ftran_and_btran_match_direct_solves() {
+        let src = sample_source();
+        let basis = vec![0usize, 1];
+        let mut factor = BasisFactor::factorize(&src, &basis).unwrap();
+        // B = [[1, 0], [2, 3]].
+        let mut x = vec![5.0, 4.0];
+        factor.ftran(&mut x);
+        // Solve [[1,0],[2,3]] x = (5, 4): x0 = 5, x1 = (4 - 10)/3 = -2.
+        assert!((x[0] - 5.0).abs() < 1e-12);
+        assert!((x[1] + 2.0).abs() < 1e-12);
+        let mut y = vec![1.0, 1.0];
+        factor.btran(&mut y);
+        // Solve B^T y = (1, 1): [[1,2],[0,3]] y = (1,1): y1 = 1/3, y0 = 1/3.
+        assert!((y[1] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((y[0] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eta_updates_track_a_basis_change() {
+        let src = sample_source();
+        let mut factor = BasisFactor::factorize(&src, &[0, 1]).unwrap();
+        // Pivot column 2 into position 0: d = B^{-1} a_2.
+        let mut d = vec![0.0; 2];
+        src.scatter_column(2, &mut d);
+        factor.ftran(&mut d);
+        factor.push_eta(0, &d);
+        assert_eq!(factor.eta_count(), 1);
+        // The updated factor must act like B' = [a_2, a_1] = [[2,0],[4,3]].
+        let mut fresh = BasisFactor::factorize(&src, &[2, 1]).unwrap();
+        let mut via_eta = vec![3.0, -1.0];
+        let mut via_fresh = via_eta.clone();
+        factor.ftran(&mut via_eta);
+        fresh.ftran(&mut via_fresh);
+        for (a, b) in via_eta.iter().zip(&via_fresh) {
+            assert!((a - b).abs() < 1e-12, "{a} != {b}");
+        }
+        let mut yt_eta = vec![-2.0, 0.5];
+        let mut yt_fresh = yt_eta.clone();
+        factor.btran(&mut yt_eta);
+        fresh.btran(&mut yt_fresh);
+        for (a, b) in yt_eta.iter().zip(&yt_fresh) {
+            assert!((a - b).abs() < 1e-12, "{a} != {b}");
+        }
+    }
+
+    #[test]
+    fn singular_basis_is_rejected() {
+        let src = sample_source();
+        // Columns 0 and 2 are proportional? col0 = (1,2), col2 = (2,4): yes.
+        assert!(BasisFactor::factorize(&src, &[0, 2]).is_none());
+    }
+
+    #[test]
+    fn complete_basis_selects_independent_columns() {
+        let src = sample_source();
+        // Candidates contain a dependent pair; completion must skip one.
+        let basis = complete_basis(&src, &[0, 2, 1], 3);
+        assert_eq!(basis.len(), 2);
+        assert!(BasisFactor::factorize(&src, &basis).is_some());
+        assert!(basis.contains(&0) && basis.contains(&1));
+    }
+
+    #[test]
+    fn complete_basis_fills_uncovered_rows_with_artificials() {
+        let src = sample_source();
+        // Only column 1 = (0, 3) offered: row 0 stays uncovered.
+        let basis = complete_basis(&src, &[1], 3);
+        assert_eq!(basis.len(), 2);
+        assert!(basis.contains(&1));
+        assert!(basis.contains(&3), "artificial of row 0 expected: {basis:?}");
+        assert!(BasisFactor::factorize(&src, &basis).is_some());
+    }
+
+    #[test]
+    fn complete_basis_ignores_duplicates_and_out_of_range() {
+        let src = sample_source();
+        let basis = complete_basis(&src, &[0, 0, 99, 1], 3);
+        assert_eq!(basis.len(), 2);
+        assert!(BasisFactor::factorize(&src, &basis).is_some());
+    }
+}

@@ -1,6 +1,6 @@
 //! # mapqn-lp
 //!
-//! A self-contained dense linear-programming solver.
+//! A self-contained linear-programming solver.
 //!
 //! The bound methodology of the paper computes upper and lower bounds on a
 //! performance index by solving
@@ -12,21 +12,31 @@
 //! where the constraints are the *marginal cut balance equations* of the MAP
 //! queueing network and `f` is a linear functional (throughput, utilization,
 //! queue-length moments). The allowed offline crate set contains no LP
-//! solver, so this crate implements a classical **two-phase primal simplex**
-//! on a dense tableau:
+//! solver, so this crate implements the simplex method from scratch. Two
+//! engines share the same problem description ([`LpProblem`]) and solution
+//! type ([`LpSolution`]):
 //!
-//! * all structural variables are non-negative (which matches the
-//!   probability variables of the bound LPs);
-//! * constraints may be `<=`, `>=` or `=` with arbitrary right-hand sides;
-//! * phase 1 minimizes the sum of artificial variables to find a basic
-//!   feasible solution (detecting infeasibility), phase 2 optimizes the real
-//!   objective (detecting unboundedness);
-//! * Dantzig pricing with an automatic switch to Bland's rule when progress
-//!   stalls guards against cycling.
+//! * **Revised simplex** ([`revised::RevisedSimplex`], the default): the
+//!   constraint matrix is stored column-wise in CSC form, the basis is kept
+//!   as an LU factorization plus a product-form eta file (refactorized
+//!   periodically for stability), and pricing works on sparse columns.
+//!   Crucially it supports **warm starts**: a feasible region is phase-1'd
+//!   once ([`revised::RevisedSimplex::find_feasible_basis`]) and every
+//!   subsequent objective — both senses of every performance index of a
+//!   `bound_all()` sweep — re-prices from the previously optimal basis via
+//!   [`revised::RevisedSimplex::solve_from_basis`], typically finishing in a
+//!   handful of pivots.
+//! * **Dense tableau** ([`simplex`]): the original two-phase dense
+//!   implementation, retained as a correctness oracle. Select it with
+//!   [`SimplexOptions { engine: SimplexEngine::DenseTableau, .. }`](SimplexEngine);
+//!   every solve is cold (phase 1 runs from scratch).
 //!
-//! The solver is dense and therefore targeted at the problem sizes produced
-//! by `mapqn-core` (a few hundred to a few thousand variables); it is not a
-//! general-purpose large-scale LP code.
+//! Both engines accept non-negative structural variables and `<=` / `>=` /
+//! `=` rows with arbitrary right-hand sides, use Dantzig pricing with an
+//! automatic switch to Bland's rule when progress stalls, and report
+//! infeasibility / unboundedness through [`LpStatus`]. Their agreement on
+//! the paper's bound LPs is asserted by `tests/lp_engine_equivalence.rs` at
+//! the workspace level.
 //!
 //! ```
 //! use mapqn_lp::{LpProblem, Sense};
@@ -39,15 +49,27 @@
 //! let solution = lp.solve().unwrap();
 //! assert!((solution.objective - 10.0).abs() < 1e-9);
 //! ```
+//!
+//! Warm-start semantics in brief: a [`revised::Basis`] returned by the
+//! engine is a token for "the optimal basis of the last objective". Feeding
+//! it back into `solve_from_basis` over the *same* constraint set skips
+//! phase 1 entirely. Feeding a stale or foreign basis (for instance one
+//! mapped from a related problem, as the population sweeps in `mapqn-bench`
+//! do) is safe: the engine repairs it into a nonsingular basis, checks
+//! primal feasibility, and silently falls back to a cold phase 1 when the
+//! check fails.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod basis;
 pub mod problem;
+pub mod revised;
 pub mod simplex;
 
 pub use problem::{Constraint, ConstraintOp, LpProblem, Sense};
-pub use simplex::{LpSolution, LpStatus, SimplexOptions};
+pub use revised::{Basis, RevisedSimplex};
+pub use simplex::{LpSolution, LpStatus, SimplexEngine, SimplexOptions};
 
 /// Error type for LP construction and solution.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,6 +89,9 @@ pub enum LpError {
         /// Limit that was hit.
         limit: usize,
     },
+    /// The revised engine hit an unrecoverable numerical problem (for
+    /// example a basis that stays singular after refactorization).
+    Numerical(String),
 }
 
 impl std::fmt::Display for LpError {
@@ -82,6 +107,7 @@ impl std::fmt::Display for LpError {
             LpError::IterationLimit { limit } => {
                 write!(f, "simplex iteration limit of {limit} exceeded")
             }
+            LpError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
         }
     }
 }

@@ -171,13 +171,19 @@ impl LpProblem {
         self.solve_with(&SimplexOptions::default())
     }
 
-    /// Solves the problem with explicit simplex options.
+    /// Solves the problem with explicit simplex options, dispatching on
+    /// [`SimplexEngine`](crate::simplex::SimplexEngine).
     ///
     /// # Errors
     /// Propagates validation errors and iteration-limit failures.
     pub fn solve_with(&self, options: &SimplexOptions) -> Result<LpSolution> {
         self.validate()?;
-        solve_simplex(self, options)
+        match options.engine {
+            crate::simplex::SimplexEngine::DenseTableau => solve_simplex(self, options),
+            crate::simplex::SimplexEngine::Revised => {
+                crate::revised::RevisedSimplex::new(self)?.solve(self, options)
+            }
+        }
     }
 }
 

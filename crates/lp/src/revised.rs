@@ -1,0 +1,1093 @@
+//! Revised simplex over a sparse CSC constraint matrix.
+//!
+//! The dense tableau in [`crate::simplex`] recomputes the whole `m × n`
+//! tableau at every pivot and restarts phase 1 from scratch on every solve.
+//! This engine implements the *revised* simplex method instead:
+//!
+//! * the standard-form constraint matrix is stored column-wise
+//!   ([`CscMatrix`]), so pricing touches only stored non-zeros;
+//! * the basis is kept as an LU factorization plus a product-form eta file
+//!   ([`crate::basis`]), refactorized periodically for stability;
+//! * a solved basis can be handed back in via [`RevisedSimplex::solve_from_basis`]
+//!   to **warm start** the next objective over the same feasible region —
+//!   phase 1 then runs once per constraint set instead of once per solve,
+//!   which is what makes `bound_all()` style index sweeps cheap.
+//!
+//! The engine solves the same problem class as the dense tableau
+//! (non-negative variables, `<=` / `>=` / `=` rows) and is validated against
+//! it by the equivalence tests in `tests/lp_engine_equivalence.rs`.
+
+use crate::basis::{complete_basis, BasisFactor, ColumnSource};
+use crate::problem::{ConstraintOp, LpProblem, Sense};
+use crate::simplex::{LpSolution, LpStatus, SimplexOptions};
+use crate::{LpError, Result};
+use mapqn_linalg::CscMatrix;
+
+/// Entries below this magnitude are treated as zero in the ratio test. Kept
+/// small so that every row that meaningfully bounds the step participates;
+/// numerical stability comes from the second ratio-test pass preferring the
+/// largest pivot and from the suspect-pivot refactorization guard.
+const PIVOT_TOL: f64 = 1e-9;
+
+/// Primal feasibility tolerance for accepting a warm-start basis and for the
+/// phase-1 infeasibility verdict.
+const FEAS_TOL: f64 = 1e-7;
+
+/// Pivot magnitude below which the engine refactorizes and re-prices before
+/// committing to the pivot: with a stale eta file a small computed pivot may
+/// be pure numerical drift over a true zero, and pivoting on it drives the
+/// basis towards singularity.
+const SUSPECT_PIVOT: f64 = 1e-5;
+
+/// Hard floor on the pivot magnitude: a column whose best ratio-test pivot
+/// is below this is *banned* from entering for the current pricing round
+/// instead of being pivoted on — the resulting step `x_B / d` would be so
+/// large that rows excluded from the ratio test (entries treated as zero)
+/// pick up macroscopic infeasibility.
+const MIN_PIVOT: f64 = 1e-7;
+
+/// Magnitude of the anti-degeneracy right-hand-side perturbation. Every
+/// solve runs against `b + delta` with `delta_i` a deterministic,
+/// index-hashed value in `[PERT_SCALE, 2 PERT_SCALE)`: basic values are then
+/// (generically) never exactly zero, so the massively degenerate bound LPs
+/// stop producing zero-length pivot cycles, and rows with near-zero pivot
+/// entries stop being ratio-binding (their ratio is huge instead of `0/0`).
+/// The perturbation is removed once the basis is optimal — optimality of a
+/// basis does not depend on the right-hand side.
+const PERT_SCALE: f64 = 1e-8;
+
+/// Harris ratio-test slack: how far a step may push a basic value negative
+/// before its row must leave instead. Must stay well below [`PERT_SCALE`] —
+/// a slack at or above the perturbation scale erases the perturbation within
+/// a few pivots and the degeneracy (and with it, cycling) returns.
+const RATIO_DELTA: f64 = 1e-10;
+
+/// Infeasibility threshold at refactorization time before the solve is
+/// declared numerically lost (accumulated Harris debts stay well below it).
+const REFRESH_FEAS_TOL: f64 = 1e-6;
+
+/// A simplex basis: the column basic in each of the `m` row positions.
+///
+/// Obtained from [`RevisedSimplex::find_feasible_basis`] or returned by
+/// [`RevisedSimplex::solve_from_basis`]; treat it as an opaque token that can
+/// be fed back into the engine (or into a different engine instance over a
+/// *related* constraint set, where it is repaired into a valid basis first).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Basis {
+    columns: Vec<usize>,
+}
+
+impl Basis {
+    /// Creates a basis from raw standard-form column indices. Intended for
+    /// callers that map a basis between related problems; indices are
+    /// sanitized (deduplicated, completed) when the basis is used.
+    #[must_use]
+    pub fn from_columns(columns: Vec<usize>) -> Self {
+        Self { columns }
+    }
+
+    /// The standard-form column indices of the basic variables.
+    #[must_use]
+    pub fn columns(&self) -> &[usize] {
+        &self.columns
+    }
+}
+
+/// Outcome of a phase-1 run.
+enum Phase1Outcome {
+    Feasible(Box<Work>),
+    Infeasible,
+}
+
+/// Mutable per-solve state: basis, basic values and factorization.
+struct Work {
+    basis: Vec<usize>,
+    in_basis: Vec<bool>,
+    xb: Vec<f64>,
+    /// Right-hand side the current solve runs against (the perturbed `b`
+    /// during pivoting, the true `b` after the perturbation is removed).
+    rhs: Vec<f64>,
+    factor: BasisFactor,
+    iterations: usize,
+}
+
+/// Revised simplex engine bound to one constraint set.
+///
+/// Construction converts the constraints of an [`LpProblem`] to standard
+/// form once; every subsequent solve only changes the objective. The engine
+/// caches its last basis internally, so repeated [`RevisedSimplex::solve_from_basis`]
+/// calls with the basis it returned skip refactorization.
+pub struct RevisedSimplex {
+    m: usize,
+    n_struct: usize,
+    /// Structural + slack column count; artificial column `i` (one per row)
+    /// is the implicit identity column `total_real + i`.
+    total_real: usize,
+    cols: CscMatrix,
+    b: Vec<f64>,
+    /// Initial basic column of each row for a cold phase-1 start: the slack
+    /// column for `<=` rows, the artificial otherwise.
+    phase1_basis: Vec<usize>,
+    /// Cached state of the last successful solve (keyed by its basis).
+    cache: Option<Work>,
+}
+
+impl ColumnSource for RevisedSimplex {
+    fn num_rows(&self) -> usize {
+        self.m
+    }
+
+    fn scatter_column(&self, j: usize, out: &mut [f64]) {
+        if j >= self.total_real {
+            out[j - self.total_real] += 1.0;
+        } else {
+            for (r, v) in self.cols.col_iter(j) {
+                out[r] += v;
+            }
+        }
+    }
+}
+
+impl RevisedSimplex {
+    /// Builds the standard form of `problem`'s constraint set (the objective
+    /// stored in `problem` is only used by [`RevisedSimplex::solve`]).
+    ///
+    /// # Errors
+    /// Propagates validation errors from the problem.
+    pub fn new(problem: &LpProblem) -> Result<Self> {
+        problem.validate()?;
+        let m = problem.num_constraints();
+        let n = problem.num_vars();
+
+        // Normalize right-hand sides to be non-negative, then append one
+        // slack/surplus column per inequality row.
+        let mut triplets: Vec<(usize, usize, f64)> = Vec::new();
+        let mut b = Vec::with_capacity(m);
+        let mut phase1_basis = Vec::with_capacity(m);
+        let mut slack_cursor = n;
+        // First pass to know the slack count (artificial indices come after
+        // every real column).
+        let num_slack = problem
+            .constraints()
+            .iter()
+            .filter(|c| c.op != ConstraintOp::Eq)
+            .count();
+        let total_real = n + num_slack;
+
+        for (i, constraint) in problem.constraints().iter().enumerate() {
+            let flip = constraint.rhs < 0.0;
+            let sign = if flip { -1.0 } else { 1.0 };
+            for &(idx, v) in &constraint.coefficients {
+                triplets.push((i, idx, sign * v));
+            }
+            b.push(sign * constraint.rhs);
+            let op = match (constraint.op, flip) {
+                (ConstraintOp::Eq, _) => ConstraintOp::Eq,
+                (ConstraintOp::Le, false) | (ConstraintOp::Ge, true) => ConstraintOp::Le,
+                (ConstraintOp::Le, true) | (ConstraintOp::Ge, false) => ConstraintOp::Ge,
+            };
+            match op {
+                ConstraintOp::Le => {
+                    triplets.push((i, slack_cursor, 1.0));
+                    phase1_basis.push(slack_cursor);
+                    slack_cursor += 1;
+                }
+                ConstraintOp::Ge => {
+                    triplets.push((i, slack_cursor, -1.0));
+                    phase1_basis.push(total_real + i);
+                    slack_cursor += 1;
+                }
+                ConstraintOp::Eq => {
+                    phase1_basis.push(total_real + i);
+                }
+            }
+        }
+        let cols = CscMatrix::from_triplets(m, total_real.max(1), &triplets)
+            .expect("standard-form indices are in range by construction");
+
+        Ok(Self {
+            m,
+            n_struct: n,
+            total_real,
+            cols,
+            b,
+            phase1_basis,
+            cache: None,
+        })
+    }
+
+    /// Number of constraint rows.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.m
+    }
+
+    /// Number of standard-form columns excluding artificials (structural
+    /// variables followed by slacks).
+    #[must_use]
+    pub fn num_real_columns(&self) -> usize {
+        self.total_real
+    }
+
+    /// The deterministically perturbed right-hand side of this solve (see
+    /// [`PERT_SCALE`]).
+    fn perturbed_rhs(&self) -> Vec<f64> {
+        self.b
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let h = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+                v + PERT_SCALE * (1.0 + u)
+            })
+            .collect()
+    }
+
+    /// Installs a fresh perturbation into `work` and recomputes the basic
+    /// values against it. Returns `false` when the basis is not feasible for
+    /// the perturbed right-hand side (the caller should fall back to a cold
+    /// start).
+    fn apply_perturbation(&self, work: &mut Work) -> bool {
+        work.rhs = self.perturbed_rhs();
+        let mut xb = work.rhs.clone();
+        work.factor.ftran(&mut xb);
+        if xb.iter().any(|&v| v < -FEAS_TOL) {
+            return false;
+        }
+        for v in &mut xb {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        work.xb = xb;
+        true
+    }
+
+    /// Tries to remove the perturbation from an optimal basis by recomputing
+    /// the basic values against the true right-hand side (the factor is
+    /// eta-free at this point, see the optimality refresh in `run_pivots`).
+    ///
+    /// When the true-rhs values come back meaningfully negative the
+    /// *perturbed* solution is kept instead: it satisfies `A x = b + delta`
+    /// exactly, so its residual against the true `b` is bounded by `delta`
+    /// itself (2·[`PERT_SCALE`]) — whereas clamping the true-rhs values
+    /// would introduce an error amplified by the basis conditioning (an
+    /// alternative "conservative candidate" scheme based on those clamped
+    /// values was tried and rejected: its conditioning-scale noise degraded
+    /// well-conditioned throughput/utilization bounds by ~1e-2).
+    ///
+    /// Residual risk, accepted and documented in ROADMAP.md: the retained
+    /// perturbation shifts the reported optimum by `y^T delta`, which on
+    /// ill-conditioned LPs (dual prices ~1e5, the mean-queue-length
+    /// objectives) can reach ~1e-2 — far below the LP relaxation gap of
+    /// those bounds in every measured instance, but not covered by the
+    /// fixed tolerance widening. A rigorous certificate would need a
+    /// dual-feasibility-based correction; see the roadmap's open item.
+    fn restore_true_rhs(&self, work: &mut Work) {
+        let mut xb = self.b.clone();
+        work.factor.ftran(&mut xb);
+        if xb.iter().all(|&v| v >= -RATIO_DELTA) {
+            for v in &mut xb {
+                if *v < 0.0 {
+                    *v = 0.0;
+                }
+            }
+            work.rhs.copy_from_slice(&self.b);
+            work.xb = xb;
+        }
+    }
+
+    /// Runs phase 1 from the slack/artificial starting basis and returns a
+    /// primal feasible basis, or `None` when the constraints are infeasible.
+    ///
+    /// # Errors
+    /// Returns [`LpError::IterationLimit`] or [`LpError::Numerical`] from
+    /// the underlying pivoting.
+    pub fn find_feasible_basis(&mut self, options: &SimplexOptions) -> Result<Option<Basis>> {
+        match self.phase1(options)? {
+            Phase1Outcome::Feasible(work) => {
+                let basis = Basis {
+                    columns: work.basis.clone(),
+                };
+                self.cache = Some(*work);
+                Ok(Some(basis))
+            }
+            Phase1Outcome::Infeasible => Ok(None),
+        }
+    }
+
+    /// Solves `minimize/maximize objective` over the constraint set, warm
+    /// starting from `basis`. Returns the solution and the optimal basis for
+    /// reuse in the next call.
+    ///
+    /// The basis is repaired (completed with artificials) when it does not
+    /// form a nonsingular matrix, and the engine transparently falls back to
+    /// a fresh phase 1 when the basis is not primal feasible for the current
+    /// right-hand side — so a stale or approximate basis degrades to a cold
+    /// solve instead of failing.
+    ///
+    /// # Errors
+    /// Returns [`LpError::IterationLimit`] or [`LpError::Numerical`] from
+    /// the underlying pivoting.
+    pub fn solve_from_basis(
+        &mut self,
+        objective: &[f64],
+        sense: Sense,
+        basis: &Basis,
+        options: &SimplexOptions,
+    ) -> Result<(LpSolution, Basis)> {
+        let mut work = match self.prepare_work(basis, options)? {
+            Some(work) => work,
+            None => {
+                return Ok((
+                    LpSolution {
+                        status: LpStatus::Infeasible,
+                        objective: 0.0,
+                        x: vec![0.0; self.n_struct],
+                        iterations: 0,
+                    },
+                    basis.clone(),
+                ))
+            }
+        };
+
+        // Phase-2 costs: structural costs (negated for maximization so the
+        // loop always minimizes), zero on slacks and artificials.
+        let maximize = sense == Sense::Maximize;
+        let mut costs = vec![0.0; self.total_real + self.m];
+        for (j, c) in objective.iter().take(self.n_struct).enumerate() {
+            costs[j] = if maximize { -c } else { *c };
+        }
+
+        // A numerical breakdown mid-solve (singular repair, lost
+        // feasibility) is retried once from a cold phase 1 before giving up
+        // — the warm-start state, not the problem, is usually what went bad.
+        let mut retried = false;
+        let optimal = loop {
+            let attempt = self
+                .run_pivots(&mut work, &costs, options, false)
+                .inspect(|&optimal| {
+                    if optimal {
+                        self.restore_true_rhs(&mut work);
+                    }
+                });
+            match attempt {
+                Ok(optimal) => break optimal,
+                Err(LpError::Numerical(_)) if !retried => {
+                    retried = true;
+                    match self.phase1_into_option(options)? {
+                        Some(mut fresh) => {
+                            fresh.iterations += work.iterations;
+                            work = fresh;
+                        }
+                        None => {
+                            return Ok((
+                                LpSolution {
+                                    status: LpStatus::Infeasible,
+                                    objective: 0.0,
+                                    x: vec![0.0; self.n_struct],
+                                    iterations: work.iterations,
+                                },
+                                basis.clone(),
+                            ))
+                        }
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        if !optimal {
+            self.cache = None;
+            return Ok((
+                LpSolution {
+                    status: LpStatus::Unbounded,
+                    objective: 0.0,
+                    x: vec![0.0; self.n_struct],
+                    iterations: work.iterations,
+                },
+                basis.clone(),
+            ));
+        }
+
+        let mut x = vec![0.0; self.n_struct];
+        for (position, &col) in work.basis.iter().enumerate() {
+            if col < self.n_struct {
+                let v = work.xb[position];
+                x[col] = if v.abs() < options.tolerance { 0.0 } else { v };
+            }
+        }
+        let min_objective: f64 = x.iter().zip(costs.iter()).map(|(xi, ci)| xi * ci).sum();
+        let solution = LpSolution {
+            status: LpStatus::Optimal,
+            objective: if maximize {
+                -min_objective
+            } else {
+                min_objective
+            },
+            x,
+            iterations: work.iterations,
+        };
+        let out_basis = Basis {
+            columns: work.basis.clone(),
+        };
+        self.cache = Some(work);
+        Ok((solution, out_basis))
+    }
+
+    /// Cold solve of `problem`'s own objective: phase 1 followed by phase 2.
+    ///
+    /// # Errors
+    /// Returns [`LpError::IterationLimit`] or [`LpError::Numerical`] from
+    /// the underlying pivoting.
+    pub fn solve(&mut self, problem: &LpProblem, options: &SimplexOptions) -> Result<LpSolution> {
+        self.cache = None;
+        let objective: Vec<f64> = problem.objective().to_vec();
+        let sense = problem.sense();
+        match self.find_feasible_basis(options)? {
+            Some(basis) => {
+                let (solution, _) = self.solve_from_basis(&objective, sense, &basis, options)?;
+                Ok(solution)
+            }
+            None => Ok(LpSolution {
+                status: LpStatus::Infeasible,
+                objective: 0.0,
+                x: vec![0.0; self.n_struct],
+                iterations: 0,
+            }),
+        }
+    }
+
+    /// Turns a caller-supplied basis into ready-to-pivot state: reuse the
+    /// cached factorization when the basis matches, otherwise repair /
+    /// refactorize, and fall back to phase 1 when primal infeasible.
+    /// Returns `None` when the constraint set itself is infeasible.
+    fn prepare_work(&mut self, basis: &Basis, options: &SimplexOptions) -> Result<Option<Work>> {
+        if let Some(cached) = self.cache.take() {
+            if cached.basis == basis.columns {
+                let mut work = cached;
+                work.iterations = 0;
+                if self.apply_perturbation(&mut work) {
+                    return Ok(Some(work));
+                }
+                // Perturbed infeasibility on a previously optimal basis
+                // signals numerical trouble; start cold below.
+            }
+        }
+
+        let total_cols = self.total_real + self.m;
+        let mut columns: Vec<usize> = basis
+            .columns
+            .iter()
+            .copied()
+            .filter(|&c| c < total_cols)
+            .collect();
+        columns.sort_unstable();
+        columns.dedup();
+        let mut factor = if columns.len() == self.m {
+            BasisFactor::factorize(self, &columns)
+        } else {
+            None
+        };
+        if factor.is_none() {
+            columns = complete_basis(self, &basis.columns, self.total_real);
+            factor = BasisFactor::factorize(self, &columns);
+        }
+        let Some(factor) = factor else {
+            // Even the completed basis failed to factorize; start cold.
+            return self.phase1_into_option(options);
+        };
+
+        let mut in_basis = vec![false; total_cols];
+        for &c in &columns {
+            in_basis[c] = true;
+        }
+        let mut work = Work {
+            basis: columns,
+            in_basis,
+            xb: Vec::new(),
+            rhs: Vec::new(),
+            factor,
+            iterations: 0,
+        };
+        if !self.apply_perturbation(&mut work) {
+            // The basis is not primal feasible for this right-hand side.
+            return self.phase1_into_option(options);
+        }
+        Ok(Some(work))
+    }
+
+    /// Cold phase 1 prepared for phase-2 pivoting: the anti-degeneracy
+    /// perturbation is (re)installed on the feasible work state. Should the
+    /// perturbed recompute come back infeasible (a numerical fluke on a
+    /// basis phase 1 just certified), the true-rhs state phase 1 ended in
+    /// is kept instead.
+    fn phase1_into_option(&mut self, options: &SimplexOptions) -> Result<Option<Work>> {
+        match self.phase1(options)? {
+            Phase1Outcome::Feasible(work) => {
+                let mut work = *work;
+                if !self.apply_perturbation(&mut work) {
+                    work.rhs = self.b.clone();
+                    let mut xb = work.rhs.clone();
+                    work.factor.ftran(&mut xb);
+                    for v in &mut xb {
+                        *v = v.max(0.0);
+                    }
+                    work.xb = xb;
+                }
+                Ok(Some(work))
+            }
+            Phase1Outcome::Infeasible => Ok(None),
+        }
+    }
+
+    /// Phase 1: minimize the sum of artificial variables from the
+    /// slack/artificial starting basis.
+    fn phase1(&mut self, options: &SimplexOptions) -> Result<Phase1Outcome> {
+        let total_cols = self.total_real + self.m;
+        let basis = self.phase1_basis.clone();
+        let factor = BasisFactor::factorize(self, &basis)
+            .ok_or_else(|| LpError::Numerical("phase-1 starting basis is singular".into()))?;
+        let mut in_basis = vec![false; total_cols];
+        for &c in &basis {
+            in_basis[c] = true;
+        }
+        let rhs = self.perturbed_rhs();
+        let mut work = Work {
+            basis,
+            in_basis,
+            // The starting basis is diagonal with +1 entries, so the basic
+            // values are exactly the (perturbed) right-hand sides.
+            xb: rhs.clone(),
+            rhs,
+            factor,
+            iterations: 0,
+        };
+        let mut costs = vec![0.0; total_cols];
+        for c in costs.iter_mut().skip(self.total_real) {
+            *c = 1.0;
+        }
+        let optimal = self.run_pivots(&mut work, &costs, options, true)?;
+        if !optimal {
+            // Phase 1 is bounded below by zero, so an "unbounded" verdict
+            // can only be numerical (a drift-priced column with no real
+            // pivot); route it to the retry / oracle-fallback machinery
+            // instead of classifying feasibility from a non-converged basis.
+            return Err(LpError::Numerical(
+                "phase 1 failed to converge (no usable pivot for an improving column)".into(),
+            ));
+        }
+        self.restore_true_rhs(&mut work);
+        let infeasibility: f64 = work
+            .basis
+            .iter()
+            .zip(work.xb.iter())
+            .filter(|(&c, _)| c >= self.total_real)
+            .map(|(_, &v)| v)
+            .sum();
+        if infeasibility > FEAS_TOL * (1.0 + self.b.iter().map(|v| v.abs()).sum::<f64>()) {
+            return Ok(Phase1Outcome::Infeasible);
+        }
+        self.drive_out_artificials(&mut work, options)?;
+        Ok(Phase1Outcome::Feasible(Box::new(work)))
+    }
+
+    /// Pivots basic artificials out of the basis where a real column with a
+    /// usable pivot exists; rows where none exists are redundant and keep
+    /// their artificial basic at value zero (the phase-2 ratio test prevents
+    /// it from ever becoming positive).
+    fn drive_out_artificials(&self, work: &mut Work, options: &SimplexOptions) -> Result<()> {
+        for position in 0..self.m {
+            if work.basis[position] < self.total_real {
+                continue;
+            }
+            // Row `position` of B^{-1}: rho = B^{-T} e_position.
+            let mut rho = vec![0.0; self.m];
+            rho[position] = 1.0;
+            work.factor.btran(&mut rho);
+            // Pivot on the non-basic column with the *largest* entry in
+            // this row (mirroring the dense engine's drive-out fix): the
+            // first qualifying column can have a near-tolerance pivot whose
+            // eta would amplify round-off in every later FTRAN/BTRAN.
+            let mut entering = None;
+            let mut best = options.tolerance;
+            for j in 0..self.total_real {
+                if work.in_basis[j] {
+                    continue;
+                }
+                let a = self.cols.col_dot(j, &rho).abs();
+                if a > best {
+                    best = a;
+                    entering = Some(j);
+                }
+            }
+            let Some(q) = entering else { continue };
+            let mut d = vec![0.0; self.m];
+            self.scatter_column(q, &mut d);
+            work.factor.ftran(&mut d);
+            if d[position].abs() <= PIVOT_TOL {
+                continue;
+            }
+            // Still part of the phase-1 regime: artificials may remain basic
+            // and feasibility is re-established by the caller's checks.
+            self.apply_pivot(work, position, q, 0.0, &d, true)?;
+        }
+        Ok(())
+    }
+
+    /// Executes one basis exchange at `position` with entering column `q`,
+    /// step length `theta` and FTRAN image `d`; refactorizes when the eta
+    /// file is full.
+    fn apply_pivot(
+        &self,
+        work: &mut Work,
+        position: usize,
+        q: usize,
+        theta: f64,
+        d: &[f64],
+        phase1: bool,
+    ) -> Result<()> {
+        if theta != 0.0 {
+            for (p, &dp) in d.iter().enumerate() {
+                if dp != 0.0 {
+                    let v = work.xb[p] - theta * dp;
+                    // Clamp only Harris-slack-sized debts; a wider window
+                    // would erase the anti-degeneracy perturbation.
+                    work.xb[p] = if v < 0.0 && v > -RATIO_DELTA { 0.0 } else { v };
+                }
+            }
+        }
+        work.xb[position] = theta;
+        work.in_basis[work.basis[position]] = false;
+        work.in_basis[q] = true;
+        work.basis[position] = q;
+        work.factor.push_eta(position, d);
+        work.iterations += 1;
+
+        if work.factor.should_refactorize() {
+            self.refresh_factor(work, phase1)?;
+        }
+        Ok(())
+    }
+
+    /// Rebuilds the factorization from the current basis columns and
+    /// recomputes the basic values. When numerical drift has let a dependent
+    /// column into the basis the basis is *repaired*: dependent columns are
+    /// replaced with artificials via [`complete_basis`]. In phase 2 a repair
+    /// (or recompute) that breaks primal feasibility aborts the solve with a
+    /// numerical error instead of silently continuing from an infeasible
+    /// point — the caller is expected to fall back to the dense oracle.
+    fn refresh_factor(&self, work: &mut Work, phase1: bool) -> Result<()> {
+        let mut repaired = false;
+        let factor = match BasisFactor::factorize(self, &work.basis) {
+            Some(factor) => factor,
+            None => {
+                let columns = complete_basis(self, &work.basis, self.total_real);
+                let factor = BasisFactor::factorize(self, &columns).ok_or_else(|| {
+                    LpError::Numerical("basis is singular even after repair".into())
+                })?;
+                work.basis = columns;
+                work.in_basis = vec![false; self.total_real + self.m];
+                for &c in &work.basis {
+                    work.in_basis[c] = true;
+                }
+                repaired = true;
+                factor
+            }
+        };
+        work.factor = factor;
+        let mut xb = work.rhs.clone();
+        work.factor.ftran(&mut xb);
+        for v in &mut xb {
+            if *v < 0.0 && *v > -REFRESH_FEAS_TOL {
+                *v = 0.0;
+            }
+        }
+        work.xb = xb;
+        if !phase1 {
+            let infeasible = work.xb.iter().any(|&v| v < -REFRESH_FEAS_TOL)
+                || (repaired
+                    && work
+                        .basis
+                        .iter()
+                        .zip(work.xb.iter())
+                        .any(|(&c, &v)| c >= self.total_real && v > FEAS_TOL));
+            if infeasible {
+                return Err(LpError::Numerical(
+                    "refactorization lost primal feasibility".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Core pivoting loop minimizing `costs` over the real (non-artificial)
+    /// columns, or over all columns in phase 1. Returns `Ok(true)` on
+    /// optimality, `Ok(false)` on unboundedness.
+    fn run_pivots(
+        &self,
+        work: &mut Work,
+        costs: &[f64],
+        options: &SimplexOptions,
+        phase1: bool,
+    ) -> Result<bool> {
+        let tol = options.tolerance;
+        let mut stall_counter = 0usize;
+        let mut best_objective = f64::INFINITY;
+        let mut bland_mode = false;
+        let mut y = vec![0.0; self.m];
+        let mut d = vec![0.0; self.m];
+        // Columns whose best available pivot was numerically unusable, banned
+        // from entering until the basis changes.
+        let mut banned = vec![false; self.total_real];
+
+        loop {
+            if work.iterations >= options.max_iterations {
+                return Err(LpError::IterationLimit {
+                    limit: options.max_iterations,
+                });
+            }
+            if stall_counter >= options.stall_threshold {
+                bland_mode = true;
+            }
+
+            // BTRAN: y = B^{-T} c_B, then price the non-basic real columns.
+            for (p, &c) in work.basis.iter().enumerate() {
+                y[p] = costs[c];
+            }
+            work.factor.btran(&mut y);
+
+            let mut entering: Option<usize> = None;
+            let mut most_negative = -tol;
+            for j in 0..self.total_real {
+                if work.in_basis[j] || banned[j] {
+                    continue;
+                }
+                let rc = costs[j] - self.cols.col_dot(j, &y);
+                if rc < -tol {
+                    if bland_mode {
+                        entering = Some(j);
+                        break;
+                    }
+                    if rc < most_negative {
+                        most_negative = rc;
+                        entering = Some(j);
+                    }
+                }
+            }
+            let Some(q) = entering else {
+                // Apparent optimality is only trusted from a fresh
+                // factorization: the eta product form drifts away from the
+                // true basis over long pivot chains, and reduced costs
+                // computed from a drifted factor can declare a far-from
+                // optimal (or even infeasible) point "optimal". Refactorize
+                // from the actual basis columns and re-price; a clean factor
+                // either confirms optimality or surfaces the remaining work.
+                if work.factor.eta_count() > 0 {
+                    self.refresh_factor(work, phase1)?;
+                    banned.fill(false);
+                    continue;
+                }
+                // A banned column that still prices in means this vertex is
+                // *not* certified optimal — it merely offers no numerically
+                // usable pivot. Report a numerical failure so the caller
+                // retries cold or falls back to the oracle, rather than
+                // returning a possibly invalid bound as Optimal.
+                let blocked = banned.iter().enumerate().any(|(j, &is_banned)| {
+                    is_banned
+                        && !work.in_basis[j]
+                        && costs[j] - self.cols.col_dot(j, &y) < -tol
+                });
+                if blocked {
+                    return Err(LpError::Numerical(
+                        "optimality blocked by improving columns without usable pivots".into(),
+                    ));
+                }
+                return Ok(true);
+            };
+
+            // FTRAN: d = B^{-1} a_q.
+            d.fill(0.0);
+            self.scatter_column(q, &mut d);
+            work.factor.ftran(&mut d);
+
+            // Harris two-pass ratio test. Pass 1 computes the step bound
+            // *relaxed by the feasibility tolerance in the numerator* —
+            // `(x_B + delta) / d` — over every row that bounds the step.
+            // The slack is what makes the test numerically sound: if the
+            // strictly binding row has a near-zero pivot, a row with a solid
+            // pivot and an only-delta-worse ratio can leave instead, at the
+            // cost of a transient infeasibility of at most delta (clamped
+            // away by the update). Rows holding a basic artificial that the
+            // step would increase (d < 0) bound the step in phase 2 through
+            // the same slack, since artificials must stay at ~zero once
+            // feasibility is reached.
+            // In Bland mode the relaxation is dropped (delta = 0): Harris's
+            // slack re-admits the degenerate pivots Bland's rule exists to
+            // order, and the combination can cycle. The exact strict-ratio
+            // test restores the anti-cycling guarantee at the price of
+            // occasionally smaller pivots, which the suspect-pivot guard
+            // below absorbs.
+            let delta = if bland_mode { 0.0 } else { RATIO_DELTA };
+            let mut theta_relaxed = f64::INFINITY;
+            for (p, &dp) in d.iter().enumerate() {
+                if dp > PIVOT_TOL {
+                    theta_relaxed = theta_relaxed.min((work.xb[p].max(0.0) + delta) / dp);
+                } else if !phase1 && dp < -PIVOT_TOL && work.basis[p] >= self.total_real {
+                    theta_relaxed = theta_relaxed.min(delta / -dp);
+                }
+            }
+            if theta_relaxed == f64::INFINITY {
+                return Ok(false);
+            }
+            // Pass 2 picks the leaving row among those whose *strict* ratio
+            // fits under the relaxed bound: largest pivot magnitude for
+            // stability, or smallest basic index in Bland mode
+            // (anti-cycling). The step length is the chosen row's strict
+            // ratio.
+            let mut leaving: Option<usize> = None;
+            let mut best_pivot = 0.0f64;
+            let mut theta = 0.0f64;
+            for (p, &dp) in d.iter().enumerate() {
+                let strict_ratio = if dp > PIVOT_TOL {
+                    work.xb[p].max(0.0) / dp
+                } else if !phase1 && dp < -PIVOT_TOL && work.basis[p] >= self.total_real {
+                    0.0
+                } else {
+                    continue;
+                };
+                if strict_ratio > theta_relaxed {
+                    continue;
+                }
+                let better = match leaving {
+                    None => true,
+                    Some(lp) => {
+                        if bland_mode {
+                            work.basis[p] < work.basis[lp]
+                        } else {
+                            dp.abs() > best_pivot.abs()
+                        }
+                    }
+                };
+                if better {
+                    best_pivot = dp;
+                    theta = strict_ratio;
+                    leaving = Some(p);
+                }
+            }
+            let Some(position) = leaving else {
+                return Ok(false);
+            };
+
+            // A tiny pivot under a stale factorization is suspect: the true
+            // entry may be zero and the computed value pure eta drift.
+            // Refactorize and re-price instead of poisoning the basis.
+            if best_pivot.abs() < SUSPECT_PIVOT && work.factor.eta_count() > 0 {
+                self.refresh_factor(work, phase1)?;
+                continue;
+            }
+            // Even with a fresh factorization the best pivot can be
+            // genuinely tiny; pivoting on it would take an enormous step.
+            // Ban the column for this pricing round instead (it becomes
+            // available again after the next basis change).
+            if best_pivot.abs() < MIN_PIVOT {
+                banned[q] = true;
+                work.iterations += 1;
+                continue;
+            }
+
+            self.apply_pivot(work, position, q, theta, &d, phase1)?;
+            banned.fill(false);
+
+            let current_objective: f64 = work
+                .basis
+                .iter()
+                .zip(work.xb.iter())
+                .map(|(&c, &v)| costs[c] * v)
+                .sum();
+            if current_objective < best_objective - tol {
+                best_objective = current_objective;
+                stall_counter = 0;
+            } else {
+                stall_counter += 1;
+            }
+
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{LpProblem, Sense};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-7, "{a} != {b}");
+    }
+
+    fn revised_solve(lp: &LpProblem) -> LpSolution {
+        let mut engine = RevisedSimplex::new(lp).unwrap();
+        engine.solve(lp, &SimplexOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn maximization_with_le_constraints() {
+        let mut lp = LpProblem::new(2, Sense::Maximize);
+        lp.set_objective(&[(0, 3.0), (1, 2.0)]);
+        lp.add_le(&[(0, 1.0), (1, 1.0)], 4.0);
+        lp.add_le(&[(0, 1.0)], 2.0);
+        let s = revised_solve(&lp);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 10.0);
+        assert_close(s.x[0], 2.0);
+        assert_close(s.x[1], 2.0);
+    }
+
+    #[test]
+    fn minimization_with_ge_constraints() {
+        let mut lp = LpProblem::new(2, Sense::Minimize);
+        lp.set_objective(&[(0, 2.0), (1, 3.0)]);
+        lp.add_ge(&[(0, 1.0), (1, 1.0)], 10.0);
+        lp.add_ge(&[(0, 1.0)], 3.0);
+        let s = revised_solve(&lp);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 20.0);
+    }
+
+    #[test]
+    fn equality_probability_style_and_warm_restart_between_senses() {
+        let mut lp = LpProblem::new(3, Sense::Maximize);
+        lp.set_objective(&[(2, 1.0)]);
+        lp.add_eq(&[(0, 1.0), (1, 1.0), (2, 1.0)], 1.0);
+        lp.add_le(&[(1, 1.0), (2, 2.0)], 1.2);
+
+        let mut engine = RevisedSimplex::new(&lp).unwrap();
+        let options = SimplexOptions::default();
+        let basis = engine
+            .find_feasible_basis(&options)
+            .unwrap()
+            .expect("feasible");
+        let objective = vec![0.0, 0.0, 1.0];
+        let (max_sol, basis) = engine
+            .solve_from_basis(&objective, Sense::Maximize, &basis, &options)
+            .unwrap();
+        assert_eq!(max_sol.status, LpStatus::Optimal);
+        assert_close(max_sol.objective, 0.6);
+        let (min_sol, _) = engine
+            .solve_from_basis(&objective, Sense::Minimize, &basis, &options)
+            .unwrap();
+        assert_eq!(min_sol.status, LpStatus::Optimal);
+        assert_close(min_sol.objective, 0.0);
+    }
+
+    #[test]
+    fn infeasible_problem_is_detected() {
+        let mut lp = LpProblem::new(1, Sense::Minimize);
+        lp.set_objective(&[(0, 1.0)]);
+        lp.add_le(&[(0, 1.0)], 1.0);
+        lp.add_ge(&[(0, 1.0)], 2.0);
+        let s = revised_solve(&lp);
+        assert_eq!(s.status, LpStatus::Infeasible);
+        let mut engine = RevisedSimplex::new(&lp).unwrap();
+        assert!(engine
+            .find_feasible_basis(&SimplexOptions::default())
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn unbounded_problem_is_detected() {
+        let mut lp = LpProblem::new(1, Sense::Maximize);
+        lp.set_objective(&[(0, 1.0)]);
+        lp.add_ge(&[(0, 1.0)], 1.0);
+        let s = revised_solve(&lp);
+        assert_eq!(s.status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_is_normalized() {
+        let mut lp = LpProblem::new(2, Sense::Minimize);
+        lp.set_objective(&[(1, 1.0)]);
+        lp.add_le(&[(0, 1.0), (1, -1.0)], -2.0);
+        let s = revised_solve(&lp);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 2.0);
+        assert_close(s.x[1], 2.0);
+    }
+
+    #[test]
+    fn redundant_equalities_are_handled() {
+        let mut lp = LpProblem::new(2, Sense::Maximize);
+        lp.set_objective(&[(0, 1.0)]);
+        lp.add_eq(&[(0, 1.0), (1, 1.0)], 1.0);
+        lp.add_eq(&[(0, 2.0), (1, 2.0)], 2.0);
+        let s = revised_solve(&lp);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 1.0);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        let mut lp = LpProblem::new(2, Sense::Maximize);
+        lp.set_objective(&[(0, 1.0), (1, 1.0)]);
+        lp.add_le(&[(0, 1.0)], 1.0);
+        lp.add_le(&[(1, 1.0)], 1.0);
+        lp.add_le(&[(0, 1.0), (1, 1.0)], 2.0);
+        lp.add_le(&[(0, 2.0), (1, 2.0)], 4.0);
+        let s = revised_solve(&lp);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 2.0);
+    }
+
+    #[test]
+    fn warm_start_with_stale_basis_degrades_to_cold_solve() {
+        let mut lp = LpProblem::new(2, Sense::Maximize);
+        lp.set_objective(&[(0, 3.0), (1, 2.0)]);
+        lp.add_le(&[(0, 1.0), (1, 1.0)], 4.0);
+        lp.add_le(&[(0, 1.0)], 2.0);
+        let mut engine = RevisedSimplex::new(&lp).unwrap();
+        let options = SimplexOptions::default();
+        // A nonsense basis (out-of-range and duplicate entries).
+        let stale = Basis::from_columns(vec![999, 0, 0]);
+        let (solution, _) = engine
+            .solve_from_basis(&[3.0, 2.0], Sense::Maximize, &stale, &options)
+            .unwrap();
+        assert_eq!(solution.status, LpStatus::Optimal);
+        assert_close(solution.objective, 10.0);
+    }
+
+    #[test]
+    fn iteration_limit_is_reported() {
+        let mut lp = LpProblem::new(2, Sense::Maximize);
+        lp.set_objective(&[(0, 1.0), (1, 1.0)]);
+        lp.add_le(&[(0, 1.0), (1, 2.0)], 10.0);
+        let options = SimplexOptions {
+            max_iterations: 0,
+            ..SimplexOptions::default()
+        };
+        let mut engine = RevisedSimplex::new(&lp).unwrap();
+        assert!(matches!(
+            engine.solve(&lp, &options),
+            Err(LpError::IterationLimit { limit: 0 })
+        ));
+    }
+
+    #[test]
+    fn many_pivots_cross_the_refactorization_interval() {
+        // A staircase problem that needs well over REFACTOR_INTERVAL pivots,
+        // exercising the eta-file refactorization path.
+        let n = 150;
+        let mut lp = LpProblem::new(n, Sense::Maximize);
+        let obj: Vec<(usize, f64)> = (0..n).map(|j| (j, 1.0 + (j % 3) as f64)).collect();
+        lp.set_objective(&obj);
+        for j in 0..n {
+            lp.add_le(&[(j, 1.0)], 1.0 + (j % 7) as f64);
+        }
+        let s = revised_solve(&lp);
+        assert_eq!(s.status, LpStatus::Optimal);
+        let expected: f64 = (0..n)
+            .map(|j| (1.0 + (j % 3) as f64) * (1.0 + (j % 7) as f64))
+            .sum();
+        assert_close(s.objective, expected);
+        assert!(s.iterations >= n);
+    }
+}

@@ -29,6 +29,19 @@ pub struct LpSolution {
     pub iterations: usize,
 }
 
+/// Which algorithm [`LpProblem::solve_with`](crate::LpProblem::solve_with)
+/// dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimplexEngine {
+    /// Revised simplex over a sparse CSC matrix with an LU-factored basis
+    /// (see [`crate::revised`]). The default.
+    #[default]
+    Revised,
+    /// The original two-phase dense tableau, kept as a correctness oracle
+    /// and for debugging numerical discrepancies.
+    DenseTableau,
+}
+
 /// Options controlling the simplex iterations.
 #[derive(Debug, Clone, Copy)]
 pub struct SimplexOptions {
@@ -40,6 +53,8 @@ pub struct SimplexOptions {
     /// from Dantzig (most negative reduced cost) to Bland (smallest index),
     /// which guarantees termination in the presence of degeneracy.
     pub stall_threshold: usize,
+    /// Which engine solves the problem.
+    pub engine: SimplexEngine,
 }
 
 impl Default for SimplexOptions {
@@ -53,6 +68,7 @@ impl Default for SimplexOptions {
             tolerance: 1e-7,
             max_iterations: 500_000,
             stall_threshold: 50,
+            engine: SimplexEngine::default(),
         }
     }
 }
@@ -147,7 +163,8 @@ fn build_standard_form(problem: &LpProblem) -> StandardForm {
     // non-negative.
     let mut num_slack = 0usize;
     let mut num_artificial = 0usize;
-    let mut normalized: Vec<(Vec<(usize, f64)>, ConstraintOp, f64)> = Vec::with_capacity(m);
+    type NormalizedRow = (Vec<(usize, f64)>, ConstraintOp, f64);
+    let mut normalized: Vec<NormalizedRow> = Vec::with_capacity(m);
     for c in problem.constraints() {
         let mut coeffs = c.coefficients.clone();
         let mut op = c.op;
@@ -337,12 +354,25 @@ fn run_pivots(
             return Ok(true); // optimal
         };
 
-        // Ratio test.
+        // Ratio test. Pivot eligibility is floored at 1e-7 independently of
+        // the optimality tolerance: accepting pivots as small as a tight
+        // `tolerance` (say 1e-11) divides rows by near-zero values and
+        // destroys the tableau numerically — on the heavily degenerate bound
+        // LPs this made the solver report "optimal" points that were far
+        // from the optimum and occasionally infeasible. (A *larger*,
+        // column-scaled threshold is not safe either: excluding too many
+        // rows breaks Bland's anti-cycling guarantee.) Among (near-)tied
+        // ratios the smallest basic index leaves (the lexicographic-style
+        // tie-break that keeps the heavily degenerate bound LPs from
+        // cycling; a largest-pivot tie-break was tried and cycles on the
+        // Figure 8 case study).
+        const RATIO_PIVOT_TOL: f64 = 1e-7;
+        let pivot_eligibility = tol.max(RATIO_PIVOT_TOL);
         let mut pivot_row: Option<usize> = None;
         let mut best_ratio = f64::INFINITY;
         for r in 0..sf.tableau.rows {
             let a = sf.tableau.at(r, pivot_col);
-            if a > tol {
+            if a > pivot_eligibility {
                 let ratio = sf.tableau.rhs(r) / a;
                 let better = ratio < best_ratio - tol
                     || (ratio < best_ratio + tol
@@ -373,15 +403,20 @@ fn run_pivots(
 
 /// Attempts to pivot artificial variables out of the basis after phase 1.
 fn drive_out_artificials(sf: &mut StandardForm, options: &SimplexOptions, iterations: &mut usize) {
-    let tol = options.tolerance;
+    let tol = options.tolerance.max(1e-9);
     for r in 0..sf.tableau.rows {
         if sf.tableau.basis[r] >= sf.first_artificial {
-            // Find any non-artificial column with a usable pivot in this row.
+            // Pivot on the non-artificial column with the *largest* entry in
+            // this row: taking the first entry above the tolerance can pick
+            // a near-zero pivot whose normalization amplifies round-off
+            // through the rest of the tableau.
             let mut col = None;
+            let mut best = tol;
             for j in 0..sf.first_artificial {
-                if sf.tableau.at(r, j).abs() > tol {
+                let a = sf.tableau.at(r, j).abs();
+                if a > best {
+                    best = a;
                     col = Some(j);
-                    break;
                 }
             }
             if let Some(j) = col {
@@ -469,6 +504,15 @@ mod tests {
         assert!((a - b).abs() < 1e-7, "{a} != {b}");
     }
 
+    /// These tests exercise the dense tableau specifically (the default
+    /// options would dispatch to the revised engine).
+    fn dense() -> SimplexOptions {
+        SimplexOptions {
+            engine: SimplexEngine::DenseTableau,
+            ..SimplexOptions::default()
+        }
+    }
+
     #[test]
     fn maximization_with_le_constraints() {
         // max 3x + 2y s.t. x + y <= 4, x <= 2 => x = 2, y = 2, obj = 10.
@@ -476,7 +520,7 @@ mod tests {
         lp.set_objective(&[(0, 3.0), (1, 2.0)]);
         lp.add_le(&[(0, 1.0), (1, 1.0)], 4.0);
         lp.add_le(&[(0, 1.0)], 2.0);
-        let s = lp.solve().unwrap();
+        let s = lp.solve_with(&dense()).unwrap();
         assert_eq!(s.status, LpStatus::Optimal);
         assert_close(s.objective, 10.0);
         assert_close(s.x[0], 2.0);
@@ -492,7 +536,7 @@ mod tests {
         lp.set_objective(&[(0, 2.0), (1, 3.0)]);
         lp.add_ge(&[(0, 1.0), (1, 1.0)], 10.0);
         lp.add_ge(&[(0, 1.0)], 3.0);
-        let s = lp.solve().unwrap();
+        let s = lp.solve_with(&dense()).unwrap();
         assert_eq!(s.status, LpStatus::Optimal);
         assert_close(s.objective, 20.0);
         assert_close(s.x[0], 10.0);
@@ -508,13 +552,13 @@ mod tests {
         lp.set_objective(&[(2, 1.0)]);
         lp.add_eq(&[(0, 1.0), (1, 1.0), (2, 1.0)], 1.0);
         lp.add_le(&[(1, 1.0), (2, 2.0)], 1.2);
-        let s = lp.solve().unwrap();
+        let s = lp.solve_with(&dense()).unwrap();
         assert_eq!(s.status, LpStatus::Optimal);
         assert_close(s.objective, 0.6);
         // And the minimum is 0.
         let mut lp_min = lp.clone();
         lp_min.set_sense(Sense::Minimize);
-        let s_min = lp_min.solve().unwrap();
+        let s_min = lp_min.solve_with(&dense()).unwrap();
         assert_close(s_min.objective, 0.0);
     }
 
@@ -524,7 +568,7 @@ mod tests {
         lp.set_objective(&[(0, 1.0)]);
         lp.add_le(&[(0, 1.0)], 1.0);
         lp.add_ge(&[(0, 1.0)], 2.0);
-        let s = lp.solve().unwrap();
+        let s = lp.solve_with(&dense()).unwrap();
         assert_eq!(s.status, LpStatus::Infeasible);
     }
 
@@ -533,7 +577,7 @@ mod tests {
         let mut lp = LpProblem::new(1, Sense::Maximize);
         lp.set_objective(&[(0, 1.0)]);
         lp.add_ge(&[(0, 1.0)], 1.0);
-        let s = lp.solve().unwrap();
+        let s = lp.solve_with(&dense()).unwrap();
         assert_eq!(s.status, LpStatus::Unbounded);
     }
 
@@ -544,7 +588,7 @@ mod tests {
         let mut lp = LpProblem::new(2, Sense::Minimize);
         lp.set_objective(&[(1, 1.0)]);
         lp.add_le(&[(0, 1.0), (1, -1.0)], -2.0);
-        let s = lp.solve().unwrap();
+        let s = lp.solve_with(&dense()).unwrap();
         assert_eq!(s.status, LpStatus::Optimal);
         assert_close(s.objective, 2.0);
         assert_close(s.x[1], 2.0);
@@ -556,7 +600,7 @@ mod tests {
         let mut lp = LpProblem::new(1, Sense::Minimize);
         lp.set_objective(&[(0, 1.0)]);
         lp.add_eq(&[(0, -1.0)], -3.0);
-        let s = lp.solve().unwrap();
+        let s = lp.solve_with(&dense()).unwrap();
         assert_eq!(s.status, LpStatus::Optimal);
         assert_close(s.x[0], 3.0);
         assert_close(s.objective, 3.0);
@@ -571,7 +615,7 @@ mod tests {
         lp.add_le(&[(1, 1.0)], 1.0);
         lp.add_le(&[(0, 1.0), (1, 1.0)], 2.0);
         lp.add_le(&[(0, 2.0), (1, 2.0)], 4.0);
-        let s = lp.solve().unwrap();
+        let s = lp.solve_with(&dense()).unwrap();
         assert_eq!(s.status, LpStatus::Optimal);
         assert_close(s.objective, 2.0);
     }
@@ -584,7 +628,7 @@ mod tests {
         lp.set_objective(&[(0, 1.0)]);
         lp.add_eq(&[(0, 1.0), (1, 1.0)], 1.0);
         lp.add_eq(&[(0, 2.0), (1, 2.0)], 2.0);
-        let s = lp.solve().unwrap();
+        let s = lp.solve_with(&dense()).unwrap();
         assert_eq!(s.status, LpStatus::Optimal);
         assert_close(s.objective, 1.0);
     }
@@ -593,7 +637,7 @@ mod tests {
     fn zero_objective_returns_any_feasible_point() {
         let mut lp = LpProblem::new(2, Sense::Minimize);
         lp.add_eq(&[(0, 1.0), (1, 1.0)], 5.0);
-        let s = lp.solve().unwrap();
+        let s = lp.solve_with(&dense()).unwrap();
         assert_eq!(s.status, LpStatus::Optimal);
         assert_close(s.x[0] + s.x[1], 5.0);
         assert_close(s.objective, 0.0);
@@ -607,7 +651,7 @@ mod tests {
         lp.add_le(&[(0, 3.0), (1, 1.0), (2, 2.0)], 10.0);
         let options = SimplexOptions {
             max_iterations: 0,
-            ..SimplexOptions::default()
+            ..dense()
         };
         assert!(matches!(
             lp.solve_with(&options),
@@ -629,7 +673,7 @@ mod tests {
             let terms: Vec<(usize, f64)> = (0..n).map(|j| (j, coeff(i, j))).collect();
             lp.add_le(&terms, 5.0 + i as f64);
         }
-        let s = lp.solve().unwrap();
+        let s = lp.solve_with(&dense()).unwrap();
         assert_eq!(s.status, LpStatus::Optimal);
         // Recompute objective.
         let recomputed: f64 = obj.iter().map(|&(j, c)| c * s.x[j]).sum();
