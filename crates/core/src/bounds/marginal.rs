@@ -51,7 +51,7 @@ use crate::{CoreError, Result};
 use mapqn_lp::{
     Basis, LpProblem, LpSolution, LpStatus, RevisedSimplex, Sense, SimplexEngine, SimplexOptions,
 };
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 
 /// Which optional constraint families to include (the mandatory ones —
 /// normalization, population, consistency — are always added).
@@ -204,12 +204,102 @@ enum MarginalVar {
     B { j: usize, k: usize, n: usize, h: usize },
 }
 
+/// Semantic identity of a constraint row, stable across populations of the
+/// same network: the row "cut balance of station `k` at level `n`" means the
+/// same thing in every population that has level `n`. Basis translation uses
+/// these keys to carry *slack and artificial* basic columns across a
+/// population change — structural columns alone lose the inequality-row
+/// state of the vertex, which costs the dual engine dozens of repair pivots
+/// and a full crash-completion pass per objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum RowKey {
+    /// Family 1: normalization of station `k`'s marginal.
+    Norm(usize),
+    /// Family 2: the population constraint.
+    Pop,
+    /// Family 5: consistency of `b_{j,k}(., h)` with `p_j(., h)`.
+    Cons { j: usize, k: usize, h: usize },
+    /// Family 3: marginal cut balance of station `k` at level `n`.
+    Cut { k: usize, n: usize },
+    /// Family 4: phase balance of station `k`, phase `h`.
+    Phase { k: usize, h: usize },
+    /// Family 6: `b_{j,k}(n, h) <= P[n_k = n]`.
+    StructLe { j: usize, k: usize, h: usize, n: usize },
+    /// Family 6: "someone else is busy" at `n_k = n`.
+    Busy { k: usize, n: usize },
+}
+
+impl RowKey {
+    /// The same row with its level remapped through `map` (level-free rows
+    /// are unchanged); `None` when the map drops the level.
+    fn map_level(self, map: &dyn Fn(usize) -> Option<usize>) -> Option<RowKey> {
+        Some(match self {
+            RowKey::Cut { k, n } => RowKey::Cut { k, n: map(n)? },
+            RowKey::StructLe { j, k, h, n } => RowKey::StructLe { j, k, h, n: map(n)? },
+            RowKey::Busy { k, n } => RowKey::Busy { k, n: map(n)? },
+            other => other,
+        })
+    }
+}
+
 /// Warm-start state of the revised LP engine: the engine bound to this
 /// solver's constraint set plus the most recent optimal basis (which seeds
-/// the next solve, making phase 1 a once-per-network cost).
+/// the next solve, making phase 1 a once-per-network cost). The basis is
+/// absent until the first solve — dual-seeded solves create the engine
+/// without ever running phase 1.
 struct WarmState {
     engine: RevisedSimplex,
-    basis: Basis,
+    basis: Option<Basis>,
+}
+
+/// A cross-population warm start only counts as a *successful transfer*
+/// when the whole solve finished within this many pivots: a seed can be
+/// technically usable (dual feasible, repairable) yet land far from the new
+/// optimum, and a long walk from a carried vertex is no better than the
+/// rolling path it displaced. The sweep uses the classification to stop
+/// offering seeds to slots whose optima reorganize with the population.
+const TRANSFER_ACCEPT_ITERATIONS: usize = 100;
+
+/// Which engine path answered one canonical objective slot of a
+/// [`MarginalBoundSolver::bound_all_seeded`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotOutcome {
+    /// The dual engine re-solved from the provided cross-population seed.
+    DualWarm,
+    /// The seed's objective-specific dual re-solve was rejected, but the
+    /// zero-objective repair turned it into a primal feasible warm start
+    /// and the primal engine finished from there — still a successful
+    /// cross-population transfer, just through the fallback lane.
+    RepairWarm,
+    /// The primal path (rolling warm start or phase 1) answered — either no
+    /// seed was provided or the seed was unusable in every form.
+    Primal,
+    /// The dense-tableau oracle answered after a revised-engine failure.
+    DenseFallback,
+}
+
+/// Counters describing how the solver's LP engines were exercised. Exposed
+/// through [`MarginalBoundSolver::stats`] so that silent degradations — most
+/// importantly the fallback from the revised engine to the dense oracle —
+/// are observable instead of disappearing into a slower solve.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Objectives solved by the revised engine (primal or dual path).
+    pub revised_solves: usize,
+    /// Objectives the revised engine could not finish, answered by the
+    /// dense-tableau oracle instead. Anything nonzero deserves attention:
+    /// the oracle is orders of magnitude slower and cycles on the larger
+    /// instances.
+    pub dense_fallbacks: usize,
+    /// Objectives re-solved by the dual engine from a cross-population seed.
+    pub dual_warm_solves: usize,
+    /// Dual seeds that were rejected (not dual feasible / numerically
+    /// unusable), falling back to the primal warm-start path.
+    pub dual_seed_rejections: usize,
+    /// Rejected or left-over seeds that were still converted into a primal
+    /// feasible warm start by the zero-objective dual repair (standing in
+    /// for a cold phase 1).
+    pub feasibility_repairs: usize,
 }
 
 /// The bound solver: builds the constraint set once and solves a pair of
@@ -227,7 +317,32 @@ pub struct MarginalBoundSolver {
     options: BoundOptions,
     layout: VariableLayout,
     base: LpProblem,
+    /// Visit ratios relative to station 0, used by the dedicated
+    /// system-throughput objective.
+    visit_ratios: Vec<f64>,
+    /// Semantic key of every constraint row, in row order.
+    row_keys: Vec<RowKey>,
+    /// Reverse lookup of `row_keys`.
+    row_index: std::collections::HashMap<RowKey, usize>,
+    /// Standard-form slack column of each row (`None` for equality rows),
+    /// mirroring the numbering `RevisedSimplex` assigns: slacks follow the
+    /// structural variables in row order.
+    row_slack: Vec<Option<usize>>,
+    /// Row of each slack column (index = slack column − `num_vars`).
+    slack_rows: Vec<usize>,
+    /// First artificial column in standard form (structural + slack count),
+    /// mirroring `RevisedSimplex::num_real_columns`.
+    total_real: usize,
     warm: RefCell<Option<WarmState>>,
+    /// Optimal bases of the objectives solved by the last
+    /// [`MarginalBoundSolver::bound_all`]-style call, in canonical order
+    /// (see [`MarginalBoundSolver::canonical_indices`]); the raw material a
+    /// population sweep translates into the next population's dual seeds.
+    solved_bases: RefCell<Vec<Basis>>,
+    /// Per-slot engine path of the last full solve, aligned with
+    /// `solved_bases`.
+    solve_outcomes: RefCell<Vec<SlotOutcome>>,
+    stats: Cell<SolverStats>,
 }
 
 impl MarginalBoundSolver {
@@ -253,14 +368,56 @@ impl MarginalBoundSolver {
             ));
         }
         let layout = VariableLayout::new(network);
-        let base = build_constraints(network, &layout, &options);
+        let (base, row_keys) = build_constraints(network, &layout, &options);
+        let visit_ratios = network.visit_ratios()?;
+        let mut row_slack = Vec::with_capacity(base.num_constraints());
+        let mut slack_rows = Vec::new();
+        let mut cursor = base.num_vars();
+        for (row, constraint) in base.constraints().iter().enumerate() {
+            if constraint.op == mapqn_lp::ConstraintOp::Eq {
+                row_slack.push(None);
+            } else {
+                row_slack.push(Some(cursor));
+                slack_rows.push(row);
+                cursor += 1;
+            }
+        }
+        let row_index = row_keys
+            .iter()
+            .enumerate()
+            .map(|(row, &key)| (key, row))
+            .collect();
         Ok(Self {
             network: network.clone(),
             options,
             layout,
             base,
+            visit_ratios,
+            row_keys,
+            row_index,
+            row_slack,
+            slack_rows,
+            total_real: cursor,
             warm: RefCell::new(None),
+            solved_bases: RefCell::new(Vec::new()),
+            solve_outcomes: RefCell::new(Vec::new()),
+            stats: Cell::new(SolverStats::default()),
         })
+    }
+
+    /// Engine-usage counters since this solver was created. The
+    /// `dense_fallbacks` field is the one worth watching: the equivalence
+    /// tests assert it stays zero, so regressions in the revised engine
+    /// surface as test failures instead of silent slowdowns.
+    #[must_use]
+    pub fn stats(&self) -> SolverStats {
+        self.stats.get()
+    }
+
+    fn bump_stats(&self, update: impl FnOnce(&mut SolverStats)) {
+        let mut stats = self.stats.get();
+        update(&mut stats);
+        self.stats.set(stats);
     }
 
     /// Number of LP variables (the `M^2 (N+1) K`-style count the paper
@@ -296,13 +453,40 @@ impl MarginalBoundSolver {
         let layout = &self.layout;
         let network = &self.network;
         let mut terms = Vec::new();
-        // System throughput is the throughput of the reference station 0.
-        let index = match index {
-            PerformanceIndex::SystemThroughput => PerformanceIndex::Throughput(0),
-            other => other,
-        };
         match index {
-            PerformanceIndex::SystemThroughput => unreachable!("normalized above"),
+            PerformanceIndex::SystemThroughput => {
+                // Dedicated system-level functional: the average of the
+                // per-station throughputs normalized by their visit ratios,
+                // `(1/M) sum_k X_k / v_k`. The forced-flow law makes every
+                // term equal to the station-0 throughput for the true
+                // distribution (X_k = v_k X_0), so the functional is exact;
+                // under the LP relaxation it can only *tighten* the
+                // interval relative to the single-station `X_0` objective —
+                // the two coincide when the cut-balance family (which
+                // implies the traffic equations) is enabled, and the
+                // averaged form stays correctly system-level when it is
+                // ablated away or when visit ratios are non-unit.
+                // Stations the routing chain never visits have v_k = 0 and
+                // X_k = 0; the k-th term is a 0/0 that must be dropped, not
+                // divided (the functional stays exact — every *included*
+                // term equals X_0 for the true distribution).
+                let visited: Vec<usize> = (0..layout.m)
+                    .filter(|&k| self.visit_ratios[k] > 0.0)
+                    .collect();
+                let count = visited.len() as f64;
+                for &k in &visited {
+                    let station = network.station(k);
+                    let weight = 1.0 / (self.visit_ratios[k] * count);
+                    for n in 1..=layout.population {
+                        for h in 0..layout.phases[k] {
+                            terms.push((
+                                layout.p(k, n, h),
+                                station.service.completion_rate(h) * weight,
+                            ));
+                        }
+                    }
+                }
+            }
             PerformanceIndex::Throughput(k) => {
                 let station = network.station(k);
                 for n in 1..=layout.population {
@@ -377,6 +561,26 @@ impl MarginalBoundSolver {
         )
     }
 
+    /// The objectives a full-network solve covers, **grouped by family**:
+    /// all throughputs (including the system throughput), then all
+    /// utilizations, then all mean queue lengths. Consecutive same-family
+    /// objectives share optimal faces — every throughput functional is
+    /// proportional to every other on a feasible set satisfying the traffic
+    /// equations, so after the first throughput solve the rest re-price in
+    /// ~zero pivots — which makes the family grouping markedly cheaper than
+    /// interleaving per-station triples. A population sweep relies on this
+    /// order staying fixed across populations of the same network, so
+    /// per-objective bases can be carried by slot position.
+    pub(crate) fn canonical_indices(&self) -> Vec<PerformanceIndex> {
+        let m = self.layout.m;
+        let mut indices: Vec<PerformanceIndex> =
+            (0..m).map(PerformanceIndex::Throughput).collect();
+        indices.push(PerformanceIndex::SystemThroughput);
+        indices.extend((0..m).map(PerformanceIndex::Utilization));
+        indices.extend((0..m).map(PerformanceIndex::MeanQueueLength));
+        indices
+    }
+
     /// Computes bounds on every standard index of the network.
     ///
     /// All lower bounds are solved before all upper bounds: with the warm
@@ -385,42 +589,124 @@ impl MarginalBoundSolver {
     /// alternating min/max would walk across the whole feasible polytope
     /// once per index (measured at roughly twice the total pivot count).
     ///
+    /// The system-throughput interval comes from solving the dedicated
+    /// [`PerformanceIndex::SystemThroughput`] objective — the same one
+    /// [`MarginalBoundSolver::response_time_bounds`] solves — not from
+    /// copying station 0's throughput interval, so the two APIs agree by
+    /// construction (they previously could not disagree only in networks
+    /// where the two functionals coincide).
+    ///
     /// # Errors
     /// Propagates LP failures.
     pub fn bound_all(&self) -> Result<NetworkBounds> {
+        self.bound_all_seeded(&[])
+    }
+
+    /// [`MarginalBoundSolver::bound_all`] with optional cross-population
+    /// warm starts: `seeds[slot]` is tried as a **dual-simplex** starting
+    /// basis for the canonical slot (all minimizations of
+    /// [`MarginalBoundSolver::canonical_indices`] at slots `0..len`, then
+    /// all maximizations at `len..2*len`); pass an empty slice (or `None`
+    /// entries) to leave slots unseeded. Seeds are typically produced by
+    /// [`MarginalBoundSolver::translate_solved_bases_to`] on the same
+    /// network at a neighbouring population; unusable seeds fall back to the
+    /// primal warm-start path, so seeding can only help.
+    ///
+    /// Both blocks are solved in the same order with and without seeds —
+    /// all minimizations (family-grouped), then all maximizations — so a
+    /// seeded solve drops into the same rolling chain a cold solve uses.
+    /// When slot 0 (the first minimization) carries a usable seed, its
+    /// dual re-solve or zero-objective repair stands in for phase 1 and
+    /// the population step never runs a cold start.
+    ///
+    /// After the call, [`MarginalBoundSolver::solved_bases`] holds this
+    /// solve's optimal bases and [`MarginalBoundSolver::solve_outcomes`]
+    /// the per-slot engine paths, both in canonical slot order.
+    ///
+    /// # Errors
+    /// Propagates LP failures.
+    pub fn bound_all_seeded(&self, seeds: &[Option<Basis>]) -> Result<NetworkBounds> {
         let m = self.layout.m;
         let n = self.layout.population;
-        let indices: Vec<PerformanceIndex> = (0..m)
-            .flat_map(|k| {
-                [
-                    PerformanceIndex::Throughput(k),
-                    PerformanceIndex::Utilization(k),
-                    PerformanceIndex::MeanQueueLength(k),
-                ]
-            })
-            .collect();
-        let mut lowers = Vec::with_capacity(indices.len());
-        for &index in &indices {
-            lowers.push(self.solve_checked(&self.objective_terms(index), Sense::Minimize)?);
-        }
-        let mut uppers = Vec::with_capacity(indices.len());
-        for &index in &indices {
-            uppers.push(self.solve_checked(&self.objective_terms(index), Sense::Maximize)?);
+        let indices = self.canonical_indices();
+        let num_indices = indices.len();
+        let seed_at = |slot: usize| seeds.get(slot).and_then(Option::as_ref);
+        {
+            let empty = Basis::from_columns(Vec::new());
+            let mut bases = self.solved_bases.borrow_mut();
+            bases.clear();
+            bases.resize(2 * num_indices, empty);
+            let mut outcomes = self.solve_outcomes.borrow_mut();
+            outcomes.clear();
+            outcomes.resize(2 * num_indices, SlotOutcome::Primal);
         }
 
-        let mut throughput = Vec::with_capacity(m);
-        let mut utilization = Vec::with_capacity(m);
-        let mut mean_queue_length = Vec::with_capacity(m);
-        for (lower_chunk, upper_chunk) in lowers.chunks_exact(3).zip(uppers.chunks_exact(3)) {
-            let mut pairs = lower_chunk.iter().zip(upper_chunk.iter());
-            let (tl, tu) = pairs.next().expect("three indices per station");
-            throughput.push(self.widen(tl, tu));
-            let (ul, uu) = pairs.next().expect("three indices per station");
-            utilization.push(self.widen(ul, uu));
-            let (ql, qu) = pairs.next().expect("three indices per station");
-            mean_queue_length.push(self.widen(ql, qu));
+        // Per-solve tracing for performance forensics (set MAPQN_DUAL_DEBUG
+        // to see which objectives transfer, roll, or fall back, with pivot
+        // counts — the data every tuning decision in this module came from).
+        let debug = std::env::var_os("MAPQN_DUAL_DEBUG").is_some();
+        let mut lowers: Vec<Option<LpSolution>> = vec![None; num_indices];
+        let mut uppers: Vec<Option<LpSolution>> = vec![None; num_indices];
+        let mut solve_one = |i: usize, sense: Sense| -> Result<()> {
+            let slot = if sense == Sense::Maximize {
+                num_indices + i
+            } else {
+                i
+            };
+            let t0 = std::time::Instant::now();
+            let (solution, basis, outcome) =
+                self.solve_checked_seeded(&self.objective_terms(indices[i]), sense, seed_at(slot))?;
+            if debug {
+                eprintln!(
+                    "  solve {:?} {sense:?}: {:.1}ms {} its seeded={} outcome={outcome:?}",
+                    indices[i],
+                    t0.elapsed().as_secs_f64() * 1e3,
+                    solution.iterations,
+                    seed_at(slot).is_some()
+                );
+            }
+            self.solved_bases.borrow_mut()[slot] = basis;
+            self.solve_outcomes.borrow_mut()[slot] = outcome;
+            let store = if sense == Sense::Maximize {
+                &mut uppers
+            } else {
+                &mut lowers
+            };
+            store[i] = Some(solution);
+            Ok(())
+        };
+
+        // Minimizations first — the phase-1 vertex (everything on the
+        // slacks) is closer to the lower-bound optima — each block in
+        // family order. The order is the same with and without seeds: the
+        // rolling chain this order sets up resolves most objectives in
+        // ~zero pivots (same-family neighbours share optimal faces, and
+        // the min-block end vertex prices out optimal for most of the max
+        // block), and a seeded solve drops into the chain without
+        // disturbing the objectives around it. When slot 0 is seeded and
+        // its dual re-solve succeeds, it also stands in for phase 1 — a
+        // seeded sweep step never goes cold at all.
+        for i in 0..num_indices {
+            solve_one(i, Sense::Minimize)?;
         }
-        let system_throughput = throughput[0];
+        for i in 0..num_indices {
+            solve_one(i, Sense::Maximize)?;
+        }
+
+        let lower_at = |i: usize| lowers[i].as_ref().expect("solved above");
+        let upper_at = |i: usize| uppers[i].as_ref().expect("solved above");
+        // Canonical layout: throughputs at 0..m, system throughput at m,
+        // utilizations at m+1.., mean queue lengths at 2m+1...
+        let throughput: Vec<BoundInterval> = (0..m)
+            .map(|k| self.widen(lower_at(k), upper_at(k)))
+            .collect();
+        let utilization: Vec<BoundInterval> = (0..m)
+            .map(|k| self.widen(lower_at(m + 1 + k), upper_at(m + 1 + k)))
+            .collect();
+        let mean_queue_length: Vec<BoundInterval> = (0..m)
+            .map(|k| self.widen(lower_at(2 * m + 1 + k), upper_at(2 * m + 1 + k)))
+            .collect();
+        let system_throughput = self.widen(lower_at(m), upper_at(m));
         let system_response_time = response_time_from_throughput(system_throughput, n);
         Ok(NetworkBounds {
             throughput,
@@ -442,37 +728,104 @@ impl MarginalBoundSolver {
         Ok(response_time_from_throughput(x, self.layout.population))
     }
 
+    /// Like [`MarginalBoundSolver::solve_checked`], but optionally trying a
+    /// dual-simplex seed first and returning the optimal basis alongside
+    /// the solution (an empty basis when the dense oracle answered — it
+    /// carries no reusable basis) plus the engine path taken.
+    fn solve_checked_seeded(
+        &self,
+        terms: &[(usize, f64)],
+        sense: Sense,
+        seed: Option<&Basis>,
+    ) -> Result<(LpSolution, Basis, SlotOutcome)> {
+        let (solution, basis, outcome) = self.solve_objective_seeded(terms, sense, seed)?;
+        if solution.status != LpStatus::Optimal {
+            return Err(CoreError::BoundLpFailed(format!(
+                "{} LP terminated with status {:?}",
+                match sense {
+                    Sense::Minimize => "lower-bound",
+                    Sense::Maximize => "upper-bound",
+                },
+                solution.status
+            )));
+        }
+        Ok((
+            solution,
+            basis.unwrap_or_else(|| Basis::from_columns(Vec::new())),
+            outcome,
+        ))
+    }
+
     /// Solves one objective over the cached constraint set, dispatching on
     /// the configured engine. The revised path warm starts from the basis of
     /// the previous solve and falls back to the dense oracle if the engine
     /// reports a numerical failure.
     fn solve_objective(&self, terms: &[(usize, f64)], sense: Sense) -> Result<LpSolution> {
+        self.solve_objective_seeded(terms, sense, None)
+            .map(|(solution, _, _)| solution)
+    }
+
+    /// Engine dispatch with an optional dual seed. Every fallback to the
+    /// dense oracle is counted in [`MarginalBoundSolver::stats`]: the
+    /// fallback used to be silent, which let revised-engine regressions
+    /// masquerade as mysterious slowdowns (the oracle cycles on the larger
+    /// case-study LPs) instead of failing visibly.
+    fn solve_objective_seeded(
+        &self,
+        terms: &[(usize, f64)],
+        sense: Sense,
+        seed: Option<&Basis>,
+    ) -> Result<(LpSolution, Option<Basis>, SlotOutcome)> {
         if self.options.simplex.engine == SimplexEngine::DenseTableau {
-            return self.solve_dense(terms, sense);
+            return Ok((self.solve_dense(terms, sense)?, None, SlotOutcome::Primal));
         }
-        match self.solve_revised(terms, sense) {
-            Ok(Some(solution)) => Ok(solution),
+        let attempt = self.solve_revised(terms, sense, seed);
+        if std::env::var_os("MAPQN_DUAL_DEBUG").is_some() {
+            match &attempt {
+                Ok(None) => eprintln!("dense-fallback: revised returned non-optimal"),
+                Err(CoreError::Lp(e)) => eprintln!("dense-fallback: revised error: {e}"),
+                _ => {}
+            }
+        }
+        match attempt {
+            Ok(Some((solution, basis, outcome))) => Ok((solution, Some(basis), outcome)),
             // Infeasible constraint set or numerical breakdown: let the
-            // oracle produce the authoritative answer (or error).
-            Ok(None) | Err(CoreError::Lp(_)) => self.solve_dense(terms, sense),
+            // oracle produce the authoritative answer (or error) — but
+            // count the fallback so it stays observable.
+            Ok(None) | Err(CoreError::Lp(_)) => {
+                self.bump_stats(|s| s.dense_fallbacks += 1);
+                Ok((
+                    self.solve_dense(terms, sense)?,
+                    None,
+                    SlotOutcome::DenseFallback,
+                ))
+            }
             Err(other) => Err(other),
         }
     }
 
     /// Revised-engine solve; `Ok(None)` means the engine could not produce
     /// an optimal solution and the caller should fall back to the oracle.
-    fn solve_revised(&self, terms: &[(usize, f64)], sense: Sense) -> Result<Option<LpSolution>> {
+    ///
+    /// When a `dual_seed` is supplied (a basis translated from the same
+    /// network at a neighbouring population), the dual engine is tried
+    /// first: the seed is usually still dual feasible for the objective it
+    /// was optimal for, and a few dual pivots repair primal feasibility —
+    /// no phase 1 at all. A rejected seed silently degrades to the primal
+    /// warm-start path (and is counted in the stats).
+    fn solve_revised(
+        &self,
+        terms: &[(usize, f64)],
+        sense: Sense,
+        dual_seed: Option<&Basis>,
+    ) -> Result<Option<(LpSolution, Basis, SlotOutcome)>> {
         let mut warm_slot = self.warm.borrow_mut();
         if warm_slot.is_none() {
-            let mut engine =
-                RevisedSimplex::new(&self.base).map_err(CoreError::Lp)?;
-            let Some(basis) = engine
-                .find_feasible_basis(&self.options.simplex)
-                .map_err(CoreError::Lp)?
-            else {
-                return Ok(None);
-            };
-            *warm_slot = Some(WarmState { engine, basis });
+            let engine = RevisedSimplex::new(&self.base).map_err(CoreError::Lp)?;
+            *warm_slot = Some(WarmState {
+                engine,
+                basis: None,
+            });
         }
         let warm = warm_slot.as_mut().expect("initialized above");
 
@@ -480,15 +833,91 @@ impl MarginalBoundSolver {
         for &(idx, c) in terms {
             objective[idx] += c;
         }
+
+        if let Some(seed) = dual_seed {
+            match warm
+                .engine
+                .solve_dual_from_basis(&objective, sense, seed, &self.options.simplex)
+            {
+                Ok(Some((solution, basis, _outcome)))
+                    if solution.status == LpStatus::Optimal =>
+                {
+                    warm.basis = Some(basis.clone());
+                    let outcome = if solution.iterations <= TRANSFER_ACCEPT_ITERATIONS {
+                        SlotOutcome::DualWarm
+                    } else {
+                        // Solved, but the carried vertex was far: classify
+                        // as a non-transfer so sweep adaptivity reacts.
+                        SlotOutcome::Primal
+                    };
+                    self.bump_stats(|s| {
+                        s.revised_solves += 1;
+                        // Count only solves *classified* as transfers, so
+                        // the stats agree with the sweep's adaptation.
+                        if outcome == SlotOutcome::DualWarm {
+                            s.dual_warm_solves += 1;
+                        }
+                    });
+                    return Ok(Some((solution, basis, outcome)));
+                }
+                // Unusable seed (dual infeasible, stalled, or a numerical
+                // error): degrade to the primal path below.
+                Ok(_) | Err(_) => {
+                    self.bump_stats(|s| s.dual_seed_rejections += 1);
+                }
+            }
+        }
+
+        // A rejected seed is still worth a *zero-objective* dual repair: it
+        // yields a primal feasible basis a few pivots from the carried
+        // vertex — a better primal starting point for this objective than
+        // the rolling basis (which sits at the previous objective's
+        // optimum), and, on the first solve of a population, a stand-in for
+        // the whole cold phase 1.
+        let mut repaired = false;
+        if let Some(seed) = dual_seed {
+            if let Ok(Some(basis)) = warm
+                .engine
+                .repair_primal_feasible(seed, &self.options.simplex)
+            {
+                warm.basis = Some(basis);
+                repaired = true;
+            }
+        }
+        if warm.basis.is_none() {
+            let Some(basis) = warm
+                .engine
+                .find_feasible_basis(&self.options.simplex)
+                .map_err(CoreError::Lp)?
+            else {
+                return Ok(None);
+            };
+            warm.basis = Some(basis);
+        }
+        let start = warm.basis.clone().expect("ensured above");
         let (solution, next_basis) = warm
             .engine
-            .solve_from_basis(&objective, sense, &warm.basis, &self.options.simplex)
+            .solve_from_basis(&objective, sense, &start, &self.options.simplex)
             .map_err(CoreError::Lp)?;
         if solution.status != LpStatus::Optimal {
             return Ok(None);
         }
-        warm.basis = next_basis;
-        Ok(Some(solution))
+        warm.basis = Some(next_basis.clone());
+        let outcome = if repaired && solution.iterations <= TRANSFER_ACCEPT_ITERATIONS {
+            SlotOutcome::RepairWarm
+        } else {
+            SlotOutcome::Primal
+        };
+        self.bump_stats(|s| {
+            s.revised_solves += 1;
+            // Count only repairs whose follow-up solve was short enough to
+            // classify as a transfer, so the stats agree with the sweep's
+            // adaptation (and with what the counter's name promises).
+            if outcome == SlotOutcome::RepairWarm {
+                s.feasibility_repairs += 1;
+            }
+        });
+        Ok(Some((solution, next_basis, outcome)))
     }
 
     /// Cold dense-tableau solve (the original code path, kept as oracle).
@@ -508,46 +937,219 @@ impl MarginalBoundSolver {
     /// population sweep seed the next population's solver.
     #[must_use]
     pub fn warm_basis(&self) -> Option<Basis> {
-        self.warm.borrow().as_ref().map(|w| w.basis.clone())
+        self.warm.borrow().as_ref().and_then(|w| w.basis.clone())
     }
 
-    /// Translates this solver's cached basis into the variable numbering of
-    /// `target` (the same network at a different population): every basic
-    /// marginal term `p_k(n, h)` / `b_{j,k}(n, h)` that also exists in the
-    /// target layout keeps its identity, everything else is dropped. The
-    /// result is a *candidate* basis — the engine repairs and
-    /// feasibility-checks it, falling back to a cold phase 1 when the
-    /// carried-over vertex is not feasible at the new population.
+    /// The optimal bases recorded by the last
+    /// [`MarginalBoundSolver::bound_all`]-style call, in canonical slot
+    /// order (minimizations of [`MarginalBoundSolver::canonical_indices`]
+    /// at slots `0..len`, then maximizations). Empty before the first such
+    /// call.
+    #[must_use]
+    pub fn solved_bases(&self) -> Vec<Basis> {
+        self.solved_bases.borrow().clone()
+    }
+
+    /// The engine path taken for each canonical slot of the last
+    /// [`MarginalBoundSolver::bound_all`]-style call (aligned with
+    /// [`MarginalBoundSolver::solved_bases`]). Empty before the first such
+    /// call. A population sweep uses this to stop offering seeds to slots
+    /// that keep rejecting them.
+    #[must_use]
+    pub fn solve_outcomes(&self) -> Vec<SlotOutcome> {
+        self.solve_outcomes.borrow().clone()
+    }
+
+    /// Translates one basis of this solver into the variable numbering of
+    /// `target` (the same network at a different population), preserving the
+    /// *whole* vertex, not just its structural part:
+    ///
+    /// * structural columns keep their marginal-term identity
+    ///   (`p_k(n, h)` / `b_{j,k}(n, h)`) via [`VariableLayout::decode`];
+    /// * slack and artificial columns keep their *row* identity via
+    ///   [`RowKey`] — the slack of "cut balance of station 2 at level 5"
+    ///   maps to the slack of the same row in the target;
+    /// * target rows with no counterpart in this solver (the levels the
+    ///   population grew by) are covered by their own slack or artificial,
+    ///   completing the basis to exactly the target's row count.
+    ///
+    /// For a population increase the result is a complete, directly
+    /// factorizable basis, which is what lets the dual engine skip its
+    /// crash-completion pass. It is still only a *candidate* — the engine
+    /// verifies it and falls back gracefully when it is unusable.
+    #[must_use]
+    pub fn translate_basis(&self, basis: &Basis, target: &MarginalBoundSolver) -> Basis {
+        let cap = target.layout.population;
+        self.translate_basis_mapped(basis, target, &|n| (n <= cap).then_some(n))
+    }
+
+    /// Like [`MarginalBoundSolver::translate_basis`], but **split-anchored**
+    /// for a population increase: source levels in the lower half keep
+    /// their absolute position, levels in the upper half move up by the
+    /// population difference (both for variables and for level-indexed
+    /// rows; the gap opened in the middle is covered by each row's slack or
+    /// artificial).
+    ///
+    /// This is the right translation for vertices anchored at the *top* of
+    /// the level grid — "the bottleneck holds (almost) all `N` jobs", which
+    /// is what the lower-bound throughput and upper-bound queue-length
+    /// optima look like. Their basic variables live at levels `N`, `N-1`, …
+    /// while the other stations' live at `0, 1, …`; an absolute translation
+    /// misses the top-anchored half by exactly the population step and
+    /// costs the dual engine a repair proportional to `N` (measured as
+    /// stalls and rejections on every throughput-minimization seed), while
+    /// the split translation preserves both anchors. For a population
+    /// *decrease* it degenerates to the absolute translation.
+    #[must_use]
+    pub fn translate_basis_shifted(&self, basis: &Basis, target: &MarginalBoundSolver) -> Basis {
+        let shift = target
+            .layout
+            .population
+            .saturating_sub(self.layout.population);
+        if shift == 0 {
+            return self.translate_basis(basis, target);
+        }
+        let split = self.layout.population / 2;
+        self.translate_basis_mapped(basis, target, &move |n| {
+            Some(if n <= split { n } else { n + shift })
+        })
+    }
+
+    /// Like [`MarginalBoundSolver::translate_basis`], but with every level
+    /// mapped **proportionally**: `n -> round(n * N_t / N_s)`. This fits
+    /// vertices whose probability mass sits at *fractional* positions of
+    /// the level grid — e.g. a queue-length lower bound that splits the
+    /// population between two stations in a demand-determined ratio — where
+    /// neither the absolute nor the edge-anchored translation matches. For
+    /// a population increase the map is strictly increasing (injective);
+    /// the levels it skips are covered by their rows' slacks/artificials.
+    #[must_use]
+    pub fn translate_basis_proportional(
+        &self,
+        basis: &Basis,
+        target: &MarginalBoundSolver,
+    ) -> Basis {
+        let n_s = self.layout.population.max(1);
+        let n_t = target.layout.population;
+        if n_t <= n_s {
+            return self.translate_basis(basis, target);
+        }
+        self.translate_basis_mapped(basis, target, &move |n| {
+            Some(((n * n_t + n_s / 2) / n_s).min(n_t))
+        })
+    }
+
+    /// Shared implementation of the basis translations: carries structural
+    /// columns by marginal-term identity and slack/artificial columns by
+    /// [`RowKey`] identity, with every queue-length level routed through
+    /// `level_map` (`None` drops the column); target rows that no source
+    /// row maps onto are covered by their own slack or artificial, so a
+    /// population-increase translation returns a complete, directly
+    /// factorizable candidate basis.
+    fn translate_basis_mapped(
+        &self,
+        basis: &Basis,
+        target: &MarginalBoundSolver,
+        level_map: &dyn Fn(usize) -> Option<usize>,
+    ) -> Basis {
+        let num_vars = self.base.num_vars();
+        let mut columns = Vec::with_capacity(basis.columns().len());
+        for &col in basis.columns() {
+            if col < num_vars {
+                let Some(var) = self.layout.decode(col) else {
+                    continue;
+                };
+                match var {
+                    MarginalVar::P { k, n, h } => {
+                        if k < target.layout.m && h < target.layout.phases[k] {
+                            if let Some(n2) = level_map(n) {
+                                if n2 <= target.layout.population {
+                                    columns.push(target.layout.p(k, n2, h));
+                                }
+                            }
+                        }
+                    }
+                    MarginalVar::B { j, k, n, h } => {
+                        if j < target.layout.m
+                            && k < target.layout.m
+                            && h < target.layout.phases[j]
+                        {
+                            if let Some(n2) = level_map(n) {
+                                // b_{j,k}(N, h) is structurally zero (an
+                                // empty column can never be basic).
+                                if n2 < target.layout.population {
+                                    columns.push(target.layout.b(j, k, n2, h));
+                                }
+                            }
+                        }
+                    }
+                }
+            } else if col < self.total_real {
+                // Slack column: carry by (level-mapped) row identity.
+                let row = self.slack_rows[col - num_vars];
+                if let Some(key) = self.row_keys[row].map_level(level_map) {
+                    if let Some(&target_row) = target.row_index.get(&key) {
+                        if let Some(slack) = target.row_slack[target_row] {
+                            columns.push(slack);
+                        }
+                    }
+                }
+            } else {
+                // Artificial column: carry by (level-mapped) row identity.
+                let row = col - self.total_real;
+                if let Some(&src_key) = self.row_keys.get(row) {
+                    if let Some(key) = src_key.map_level(level_map) {
+                        if let Some(&target_row) = target.row_index.get(&key) {
+                            columns.push(target.total_real + target_row);
+                        }
+                    }
+                }
+            }
+        }
+        // Cover the target rows no source row maps onto (new levels for the
+        // absolute translation, the mid-grid gap for the split one).
+        let covered: std::collections::HashSet<RowKey> = self
+            .row_keys
+            .iter()
+            .filter_map(|&key| key.map_level(level_map))
+            .collect();
+        for (target_row, key) in target.row_keys.iter().enumerate() {
+            if !covered.contains(key) {
+                columns.push(
+                    target.row_slack[target_row].unwrap_or(target.total_real + target_row),
+                );
+            }
+        }
+        Basis::from_columns(columns)
+    }
+
+    /// Translates this solver's cached warm basis into `target`'s numbering
+    /// (see [`MarginalBoundSolver::translate_basis`]).
     #[must_use]
     pub fn translate_basis_to(&self, target: &MarginalBoundSolver) -> Option<Basis> {
         let source = self.warm.borrow();
-        let basis = &source.as_ref()?.basis;
-        let mut columns = Vec::with_capacity(basis.columns().len());
-        for &col in basis.columns() {
-            let Some(var) = self.layout.decode(col) else {
-                continue;
-            };
-            let mapped = match var {
-                MarginalVar::P { k, n, h }
-                    if k < target.layout.m
-                        && n <= target.layout.population
-                        && h < target.layout.phases[k] =>
-                {
-                    target.layout.p(k, n, h)
-                }
-                MarginalVar::B { j, k, n, h }
-                    if j < target.layout.m
-                        && k < target.layout.m
-                        && n <= target.layout.population
-                        && h < target.layout.phases[j] =>
-                {
-                    target.layout.b(j, k, n, h)
-                }
-                _ => continue,
-            };
-            columns.push(mapped);
+        let basis = source.as_ref()?.basis.as_ref()?;
+        Some(self.translate_basis(basis, target))
+    }
+
+    /// Translates every basis recorded by the last full solve (see
+    /// [`MarginalBoundSolver::solved_bases`]) into `target`'s variable
+    /// numbering, preserving the canonical objective order — the seed
+    /// vector for [`MarginalBoundSolver::bound_all_seeded`] on the same
+    /// network at a different population. Returns `None` when no full solve
+    /// has run yet.
+    #[must_use]
+    pub fn translate_solved_bases_to(&self, target: &MarginalBoundSolver) -> Option<Vec<Basis>> {
+        let bases = self.solved_bases.borrow();
+        if bases.is_empty() {
+            return None;
         }
-        Some(Basis::from_columns(columns))
+        Some(
+            bases
+                .iter()
+                .map(|basis| self.translate_basis(basis, target))
+                .collect(),
+        )
     }
 
     /// Seeds the revised engine with a starting basis (typically obtained
@@ -560,10 +1162,13 @@ impl MarginalBoundSolver {
     pub fn seed_basis(&self, basis: Basis) -> Result<()> {
         let mut warm_slot = self.warm.borrow_mut();
         match warm_slot.as_mut() {
-            Some(warm) => warm.basis = basis,
+            Some(warm) => warm.basis = Some(basis),
             None => {
                 let engine = RevisedSimplex::new(&self.base).map_err(CoreError::Lp)?;
-                *warm_slot = Some(WarmState { engine, basis });
+                *warm_slot = Some(WarmState {
+                    engine,
+                    basis: Some(basis),
+                });
             }
         }
         Ok(())
@@ -579,15 +1184,18 @@ fn response_time_from_throughput(x: BoundInterval, population: usize) -> BoundIn
     BoundInterval::new(lower, upper)
 }
 
-/// Builds the LP constraint set (families 1–6) for the given network.
+/// Builds the LP constraint set (families 1–6) for the given network,
+/// together with the semantic [`RowKey`] of every row (in row order) for
+/// cross-population basis translation.
 fn build_constraints(
     network: &ClosedNetwork,
     layout: &VariableLayout,
     options: &BoundOptions,
-) -> LpProblem {
+) -> (LpProblem, Vec<RowKey>) {
     let m = layout.m;
     let n_pop = layout.population;
     let mut lp = LpProblem::new(layout.total, Sense::Minimize);
+    let mut keys = Vec::new();
 
     // Family 1: normalization of each station's marginal.
     for k in 0..m {
@@ -598,6 +1206,7 @@ fn build_constraints(
             }
         }
         lp.add_eq(&terms, 1.0);
+        keys.push(RowKey::Norm(k));
     }
 
     // Family 2: population constraint.
@@ -611,6 +1220,7 @@ fn build_constraints(
             }
         }
         lp.add_eq(&terms, n_pop as f64);
+        keys.push(RowKey::Pop);
     }
 
     // Family 5: consistency between the joint terms and the busy marginals:
@@ -632,6 +1242,7 @@ fn build_constraints(
                     terms.push((layout.p(j, n, h_j), -1.0));
                 }
                 lp.add_eq(&terms, 0.0);
+                keys.push(RowKey::Cons { j, k, h: h_j });
             }
         }
     }
@@ -670,6 +1281,7 @@ fn build_constraints(
                     }
                 }
                 lp.add_eq(&terms, 0.0);
+                keys.push(RowKey::Cut { k, n });
             }
         }
     }
@@ -709,6 +1321,7 @@ fn build_constraints(
                 }
                 if !terms.is_empty() {
                     lp.add_eq(&terms, 0.0);
+                    keys.push(RowKey::Phase { k, h });
                 }
             }
         }
@@ -731,6 +1344,7 @@ fn build_constraints(
                             terms.push((layout.p(k, n, h_k), -1.0));
                         }
                         lp.add_le(&terms, 0.0);
+                        keys.push(RowKey::StructLe { j, k, h: h_j, n });
                     }
                 }
             }
@@ -751,11 +1365,13 @@ fn build_constraints(
                     terms.push((layout.p(k, n, h_k), -1.0));
                 }
                 lp.add_ge(&terms, 0.0);
+                keys.push(RowKey::Busy { k, n });
             }
         }
     }
 
-    lp
+    debug_assert_eq!(keys.len(), lp.num_constraints());
+    (lp, keys)
 }
 
 #[cfg(test)]

@@ -7,12 +7,17 @@
 //! * [`aba`] — the classical asymptotic (ABA) and balanced-job bounds, the
 //!   baseline shown in Figure 4 that "cannot approximate performance well,
 //!   except at very low or very high utilization".
+//! * [`sweep`] — population sweeps: the same network solved across a whole
+//!   range of populations, each population dual-warm-started from the
+//!   previous one's per-objective optimal bases.
 
 pub mod aba;
 pub mod marginal;
+pub mod sweep;
 
 pub use aba::{aba_bounds, balanced_job_bounds, AsymptoticBounds};
-pub use marginal::{BoundOptions, MarginalBoundSolver, NetworkBounds};
+pub use marginal::{BoundOptions, MarginalBoundSolver, NetworkBounds, SolverStats};
+pub use sweep::{PopulationSweep, SweepStats};
 
 /// A two-sided bound on a scalar performance index.
 #[derive(Debug, Clone, Copy, PartialEq)]

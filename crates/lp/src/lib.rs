@@ -58,15 +58,26 @@
 //! do) is safe: the engine repairs it into a nonsingular basis, checks
 //! primal feasibility, and silently falls back to a cold phase 1 when the
 //! check fails.
+//!
+//! When the basis comes from a *related* problem whose right-hand side (not
+//! objective) differs — the same network at a neighbouring population — use
+//! [`revised::RevisedSimplex::solve_dual_from_basis`] instead: the carried
+//! basis is usually still **dual** feasible even though it is rarely primal
+//! feasible, and the [`dual`] engine repairs primal feasibility in a few
+//! dual pivots instead of re-running phase 1. It returns `Ok(None)` for
+//! unusable seeds, so callers chain it with the primal path as a pure fast
+//! path.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod basis;
+pub mod dual;
 pub mod problem;
 pub mod revised;
 pub mod simplex;
 
+pub use dual::DualOutcome;
 pub use problem::{Constraint, ConstraintOp, LpProblem, Sense};
 pub use revised::{Basis, RevisedSimplex};
 pub use simplex::{LpSolution, LpStatus, SimplexEngine, SimplexOptions};

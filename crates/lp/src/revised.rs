@@ -27,24 +27,58 @@ use mapqn_linalg::CscMatrix;
 /// small so that every row that meaningfully bounds the step participates;
 /// numerical stability comes from the second ratio-test pass preferring the
 /// largest pivot and from the suspect-pivot refactorization guard.
-const PIVOT_TOL: f64 = 1e-9;
+pub(crate) const PIVOT_TOL: f64 = 1e-9;
 
 /// Primal feasibility tolerance for accepting a warm-start basis and for the
 /// phase-1 infeasibility verdict.
-const FEAS_TOL: f64 = 1e-7;
+pub(crate) const FEAS_TOL: f64 = 1e-7;
 
 /// Pivot magnitude below which the engine refactorizes and re-prices before
 /// committing to the pivot: with a stale eta file a small computed pivot may
 /// be pure numerical drift over a true zero, and pivoting on it drives the
 /// basis towards singularity.
-const SUSPECT_PIVOT: f64 = 1e-5;
+pub(crate) const SUSPECT_PIVOT: f64 = 1e-5;
 
 /// Hard floor on the pivot magnitude: a column whose best ratio-test pivot
 /// is below this is *banned* from entering for the current pricing round
 /// instead of being pivoted on — the resulting step `x_B / d` would be so
 /// large that rows excluded from the ratio test (entries treated as zero)
 /// pick up macroscopic infeasibility.
-const MIN_PIVOT: f64 = 1e-7;
+pub(crate) const MIN_PIVOT: f64 = 1e-7;
+
+/// How many times one `run_pivots` call may re-draw the anti-degeneracy
+/// perturbation to escape a degenerate dead end. At such a vertex every
+/// improving column's best ratio-test pivot is tiny — not because the LP is
+/// optimal, but because the *current* perturbed basic values make only
+/// near-zero rows ratio-binding. The pivot entries `B^{-1} a_q` do not
+/// depend on the right-hand side, so a fresh generic draw moves the binding
+/// rows and can expose a usable pivot where banning columns would
+/// dead-end the solve ("optimality blocked" on the ill-conditioned
+/// mean-queue-length LPs of the SCV=16 case study, from N ~ 11).
+const MAX_REPERTURBATIONS: usize = 3;
+
+/// Largest step length accepted for a pivot below [`MIN_PIVOT`]. A tiny
+/// pivot is only *macroscopically* dangerous through its step — rows whose
+/// entries the ratio test treated as zero (`<= PIVOT_TOL`) drift by
+/// `theta * PIVOT_TOL` — and through its eta, whose application divides by
+/// the pivot. Bounded-step tiny pivots are therefore taken with an
+/// immediate refactorization (never leaving the near-singular eta in the
+/// file) instead of banned: at some vertices of the ill-conditioned
+/// mean-queue-length LPs *every* improving column carries a tiny pivot, and
+/// banning them all dead-ends a genuinely suboptimal vertex.
+const MAX_TINY_PIVOT_STEP: f64 = 1.0;
+
+/// Eta-file length up to which an apparent-optimality verdict is trusted
+/// without a confirming refactorization. The product form drifts with the
+/// *length* of the eta chain (each suspect pivot already forces a refresh,
+/// so the chain never contains a near-singular eta); a short chain on top
+/// of a fresh LU prices to far better than the optimality tolerance. The
+/// unconditional refresh cost one `O(m^3)` factorization per objective,
+/// which dominated short solves — exactly the solves a dual-warm
+/// population sweep produces (its repairs are capped well under this
+/// threshold, so a transferred basis finishes without any refactorization
+/// at all).
+const TRUSTED_ETA_COUNT: usize = 64;
 
 /// Magnitude of the anti-degeneracy right-hand-side perturbation. Every
 /// solve runs against `b + delta` with `delta_i` a deterministic,
@@ -99,16 +133,18 @@ enum Phase1Outcome {
     Infeasible,
 }
 
-/// Mutable per-solve state: basis, basic values and factorization.
-struct Work {
-    basis: Vec<usize>,
-    in_basis: Vec<bool>,
-    xb: Vec<f64>,
+/// Mutable per-solve state: basis, basic values and factorization. Shared
+/// with the dual engine in [`crate::dual`], which drives the same state with
+/// a dual pivoting rule before handing it back to the primal machinery.
+pub(crate) struct Work {
+    pub(crate) basis: Vec<usize>,
+    pub(crate) in_basis: Vec<bool>,
+    pub(crate) xb: Vec<f64>,
     /// Right-hand side the current solve runs against (the perturbed `b`
     /// during pivoting, the true `b` after the perturbation is removed).
-    rhs: Vec<f64>,
-    factor: BasisFactor,
-    iterations: usize,
+    pub(crate) rhs: Vec<f64>,
+    pub(crate) factor: BasisFactor,
+    pub(crate) iterations: usize,
 }
 
 /// Revised simplex engine bound to one constraint set.
@@ -118,18 +154,22 @@ struct Work {
 /// caches its last basis internally, so repeated [`RevisedSimplex::solve_from_basis`]
 /// calls with the basis it returned skip refactorization.
 pub struct RevisedSimplex {
-    m: usize,
-    n_struct: usize,
+    pub(crate) m: usize,
+    pub(crate) n_struct: usize,
     /// Structural + slack column count; artificial column `i` (one per row)
     /// is the implicit identity column `total_real + i`.
-    total_real: usize,
-    cols: CscMatrix,
-    b: Vec<f64>,
+    pub(crate) total_real: usize,
+    pub(crate) cols: CscMatrix,
+    pub(crate) b: Vec<f64>,
     /// Initial basic column of each row for a cold phase-1 start: the slack
     /// column for `<=` rows, the artificial otherwise.
     phase1_basis: Vec<usize>,
+    /// Salt of the anti-degeneracy perturbation draw; bumped by
+    /// `run_pivots` to escape degenerate dead ends (see
+    /// [`MAX_REPERTURBATIONS`]).
+    pert_salt: std::cell::Cell<u64>,
     /// Cached state of the last successful solve (keyed by its basis).
-    cache: Option<Work>,
+    pub(crate) cache: Option<Work>,
 }
 
 impl ColumnSource for RevisedSimplex {
@@ -212,6 +252,7 @@ impl RevisedSimplex {
             cols,
             b,
             phase1_basis,
+            pert_salt: std::cell::Cell::new(0),
             cache: None,
         })
     }
@@ -230,13 +271,18 @@ impl RevisedSimplex {
     }
 
     /// The deterministically perturbed right-hand side of this solve (see
-    /// [`PERT_SCALE`]).
+    /// [`PERT_SCALE`]). The draw is keyed by the current salt, so a solve
+    /// stuck at a degenerate dead end can move to a *different* generic
+    /// perturbation without losing determinism.
     fn perturbed_rhs(&self) -> Vec<f64> {
+        let salt = self.pert_salt.get();
         self.b
             .iter()
             .enumerate()
             .map(|(i, &v)| {
-                let h = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                let h = (i as u64)
+                    .wrapping_add(salt.wrapping_mul(0x2545_f491_4f6c_dd1d))
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15);
                 let u = (h >> 11) as f64 / (1u64 << 53) as f64;
                 v + PERT_SCALE * (1.0 + u)
             })
@@ -247,7 +293,7 @@ impl RevisedSimplex {
     /// values against it. Returns `false` when the basis is not feasible for
     /// the perturbed right-hand side (the caller should fall back to a cold
     /// start).
-    fn apply_perturbation(&self, work: &mut Work) -> bool {
+    pub(crate) fn apply_perturbation(&self, work: &mut Work) -> bool {
         work.rhs = self.perturbed_rhs();
         let mut xb = work.rhs.clone();
         work.factor.ftran(&mut xb);
@@ -276,13 +322,14 @@ impl RevisedSimplex {
     /// values was tried and rejected: its conditioning-scale noise degraded
     /// well-conditioned throughput/utilization bounds by ~1e-2).
     ///
-    /// Residual risk, accepted and documented in ROADMAP.md: the retained
-    /// perturbation shifts the reported optimum by `y^T delta`, which on
-    /// ill-conditioned LPs (dual prices ~1e5, the mean-queue-length
-    /// objectives) can reach ~1e-2 — far below the LP relaxation gap of
-    /// those bounds in every measured instance, but not covered by the
-    /// fixed tolerance widening. A rigorous certificate would need a
-    /// dual-feasibility-based correction; see the roadmap's open item.
+    /// The retained perturbation no longer shifts the *reported objective*:
+    /// [`RevisedSimplex::certified_objective`] evaluates the optimum through
+    /// the dual vector of the final basis against the **true** right-hand
+    /// side, which removes the `y^T delta` shift exactly (this closed the
+    /// ROADMAP open numerical item — the shift reached ~1e-2 on the
+    /// ill-conditioned mean-queue-length LPs whose dual prices are ~1e5).
+    /// Only the reported *solution vector* can still carry the
+    /// perturbation-scale residual described above.
     fn restore_true_rhs(&self, work: &mut Work) {
         let mut xb = self.b.clone();
         work.factor.ftran(&mut xb);
@@ -336,7 +383,7 @@ impl RevisedSimplex {
         basis: &Basis,
         options: &SimplexOptions,
     ) -> Result<(LpSolution, Basis)> {
-        let mut work = match self.prepare_work(basis, options)? {
+        let work = match self.prepare_work(basis, options)? {
             Some(work) => work,
             None => {
                 return Ok((
@@ -351,21 +398,48 @@ impl RevisedSimplex {
             }
         };
 
-        // Phase-2 costs: structural costs (negated for maximization so the
-        // loop always minimizes), zero on slacks and artificials.
         let maximize = sense == Sense::Maximize;
+        let costs = self.phase2_costs(objective, maximize);
+        self.finish_phase2(work, &costs, maximize, basis, options)
+    }
+
+    /// Phase-2 cost vector: structural costs (negated for maximization so
+    /// the pivoting loops always minimize), zero on slacks and artificials.
+    pub(crate) fn phase2_costs(&self, objective: &[f64], maximize: bool) -> Vec<f64> {
         let mut costs = vec![0.0; self.total_real + self.m];
         for (j, c) in objective.iter().take(self.n_struct).enumerate() {
             costs[j] = if maximize { -c } else { *c };
         }
+        costs
+    }
 
+    /// Drives a primal-feasible `work` state to optimality and extracts the
+    /// solution. Shared tail of the primal [`RevisedSimplex::solve_from_basis`]
+    /// and the dual re-solve in [`crate::dual`] (which produces the
+    /// primal-feasible state with dual pivots instead of phase 1).
+    pub(crate) fn finish_phase2(
+        &mut self,
+        mut work: Work,
+        costs: &[f64],
+        maximize: bool,
+        fallback_basis: &Basis,
+        options: &SimplexOptions,
+    ) -> Result<(LpSolution, Basis)> {
         // A numerical breakdown mid-solve (singular repair, lost
-        // feasibility) is retried once from a cold phase 1 before giving up
-        // — the warm-start state, not the problem, is usually what went bad.
-        let mut retried = false;
+        // feasibility) is recovered from twice before giving up — the
+        // warm-start state or the pivot path, not the problem, is usually
+        // what went bad. The first recovery is *local*: a zero-objective
+        // dual repair of the very basis that broke re-establishes primal
+        // feasibility a few pivots from where the solve stopped (product-
+        // form drift loses feasibility by ~1e-5, not by a restart's worth
+        // of distance). Only when that fails does the solve restart from a
+        // cold phase 1, under a fresh perturbation draw — the failed
+        // attempt was deterministic, so restarting under the same draw
+        // would walk the same pivot path into the same breakdown.
+        let mut recovery_attempts = 0usize;
         let optimal = loop {
             let attempt = self
-                .run_pivots(&mut work, &costs, options, false)
+                .run_pivots(&mut work, costs, options, false)
                 .inspect(|&optimal| {
                     if optimal {
                         self.restore_true_rhs(&mut work);
@@ -373,8 +447,22 @@ impl RevisedSimplex {
                 });
             match attempt {
                 Ok(optimal) => break optimal,
-                Err(LpError::Numerical(_)) if !retried => {
-                    retried = true;
+                Err(LpError::Numerical(_)) if recovery_attempts < 2 => {
+                    recovery_attempts += 1;
+                    self.pert_salt.set(self.pert_salt.get().wrapping_add(1));
+                    if recovery_attempts == 1 {
+                        let failed = Basis::from_columns(work.basis.clone());
+                        let repaired = self
+                            .repair_primal_feasible(&failed, options)
+                            .ok()
+                            .flatten()
+                            .and_then(|basis| self.prepare_work(&basis, options).ok().flatten());
+                        if let Some(mut fresh) = repaired {
+                            fresh.iterations += work.iterations;
+                            work = fresh;
+                            continue;
+                        }
+                    }
                     match self.phase1_into_option(options)? {
                         Some(mut fresh) => {
                             fresh.iterations += work.iterations;
@@ -388,7 +476,7 @@ impl RevisedSimplex {
                                     x: vec![0.0; self.n_struct],
                                     iterations: work.iterations,
                                 },
-                                basis.clone(),
+                                fallback_basis.clone(),
                             ))
                         }
                     }
@@ -405,7 +493,7 @@ impl RevisedSimplex {
                     x: vec![0.0; self.n_struct],
                     iterations: work.iterations,
                 },
-                basis.clone(),
+                fallback_basis.clone(),
             ));
         }
 
@@ -416,7 +504,7 @@ impl RevisedSimplex {
                 x[col] = if v.abs() < options.tolerance { 0.0 } else { v };
             }
         }
-        let min_objective: f64 = x.iter().zip(costs.iter()).map(|(xi, ci)| xi * ci).sum();
+        let min_objective = self.certified_objective(&mut work, costs);
         let solution = LpSolution {
             status: LpStatus::Optimal,
             objective: if maximize {
@@ -432,6 +520,38 @@ impl RevisedSimplex {
         };
         self.cache = Some(work);
         Ok((solution, out_basis))
+    }
+
+    /// Evaluates the optimal objective of the final basis against the
+    /// **true** right-hand side: `c_B^T B^{-1} b`, which equals `y^T b` for
+    /// the dual vector `y = B^{-T} c_B` of the optimal basis.
+    ///
+    /// This is the dual-feasibility-based correction for the anti-degeneracy
+    /// perturbation. When the perturbation cannot be removed cleanly at
+    /// optimality ([`RevisedSimplex::restore_true_rhs`] keeps the perturbed
+    /// basic values for the *solution vector*), the objective evaluated at
+    /// that vector would carry a `y^T delta` shift — up to ~1e-2 on LPs with
+    /// dual prices of order 1e5 (the mean-queue-length bounds). Evaluating
+    /// through the basis against `b` removes the shift exactly, and by weak
+    /// duality `y^T b` is a *certified* bound on the true optimum whenever
+    /// the final basis is dual feasible (which optimality guarantees up to
+    /// the reduced-cost tolerance): for a minimization it can only
+    /// undershoot the true minimum, never overshoot it.
+    ///
+    /// The factorization carries at most [`TRUSTED_ETA_COUNT`] etas here —
+    /// `run_pivots` refactorizes before certifying optimality whenever the
+    /// chain is longer, and every suspect (near-singular) eta forces an
+    /// immediate refresh earlier — so the evaluation is a short product-form
+    /// solve on top of a fresh LU, accurate far beyond the optimality
+    /// tolerance on the instances the equivalence tests gate at 1e-6.
+    fn certified_objective(&self, work: &mut Work, costs: &[f64]) -> f64 {
+        let mut xb_true = self.b.clone();
+        work.factor.ftran(&mut xb_true);
+        work.basis
+            .iter()
+            .zip(xb_true.iter())
+            .map(|(&c, &v)| costs[c] * v)
+            .sum()
     }
 
     /// Cold solve of `problem`'s own objective: phase 1 followed by phase 2.
@@ -521,7 +641,7 @@ impl RevisedSimplex {
     /// perturbed recompute come back infeasible (a numerical fluke on a
     /// basis phase 1 just certified), the true-rhs state phase 1 ended in
     /// is kept instead.
-    fn phase1_into_option(&mut self, options: &SimplexOptions) -> Result<Option<Work>> {
+    pub(crate) fn phase1_into_option(&mut self, options: &SimplexOptions) -> Result<Option<Work>> {
         match self.phase1(options)? {
             Phase1Outcome::Feasible(work) => {
                 let mut work = *work;
@@ -637,7 +757,7 @@ impl RevisedSimplex {
     /// Executes one basis exchange at `position` with entering column `q`,
     /// step length `theta` and FTRAN image `d`; refactorizes when the eta
     /// file is full.
-    fn apply_pivot(
+    pub(crate) fn apply_pivot(
         &self,
         work: &mut Work,
         position: usize,
@@ -676,7 +796,7 @@ impl RevisedSimplex {
     /// (or recompute) that breaks primal feasibility aborts the solve with a
     /// numerical error instead of silently continuing from an infeasible
     /// point — the caller is expected to fall back to the dense oracle.
-    fn refresh_factor(&self, work: &mut Work, phase1: bool) -> Result<()> {
+    pub(crate) fn refresh_factor(&self, work: &mut Work, phase1: bool) -> Result<()> {
         let mut repaired = false;
         let factor = match BasisFactor::factorize(self, &work.basis) {
             Some(factor) => factor,
@@ -704,20 +824,138 @@ impl RevisedSimplex {
         }
         work.xb = xb;
         if !phase1 {
-            let infeasible = work.xb.iter().any(|&v| v < -REFRESH_FEAS_TOL)
-                || (repaired
-                    && work
-                        .basis
-                        .iter()
-                        .zip(work.xb.iter())
-                        .any(|(&c, &v)| c >= self.total_real && v > FEAS_TOL));
+            let artificial_infeasible = repaired
+                && work
+                    .basis
+                    .iter()
+                    .zip(work.xb.iter())
+                    .any(|(&c, &v)| c >= self.total_real && v > FEAS_TOL);
+            let infeasible =
+                work.xb.iter().any(|&v| v < -REFRESH_FEAS_TOL) || artificial_infeasible;
             if infeasible {
-                return Err(LpError::Numerical(
-                    "refactorization lost primal feasibility".into(),
-                ));
+                // Distinguish *fixable* infeasibility from orphaned drift.
+                // On near-redundant rows the exact basic value can sit a
+                // few 1e-5 below zero while no non-basic column has a
+                // usable entry in that row — no pivoting (primal, dual, or
+                // a restart, which deterministically rebuilds the same
+                // vertex) can repair it. Erroring out used to send such
+                // solves to the dense oracle; instead, clamp the orphaned
+                // rows and continue: the reported *objective* is certified
+                // through the dual vector (`certified_objective`), which
+                // never depended on primal exactness, and the residual in
+                // the solution vector is bounded by the clamped amount.
+                // Rows that a column *could* fix still abort the solve.
+                let mut fixable = false;
+                for (p, &v) in work.xb.iter().enumerate() {
+                    if v >= -REFRESH_FEAS_TOL {
+                        continue;
+                    }
+                    let mut rho = vec![0.0; self.m];
+                    rho[p] = 1.0;
+                    work.factor.btran(&mut rho);
+                    for j in 0..self.total_real {
+                        if !work.in_basis[j] && self.cols.col_dot(j, &rho) < -MIN_PIVOT {
+                            fixable = true;
+                            break;
+                        }
+                    }
+                    if fixable {
+                        break;
+                    }
+                }
+                if fixable || artificial_infeasible {
+                    if std::env::var_os("MAPQN_LP_DEBUG").is_some() {
+                        let worst = work.xb.iter().cloned().fold(0.0f64, f64::min);
+                        eprintln!(
+                            "refresh-lost-feasibility: worst xb {worst:.3e}, repaired {repaired}, m {}",
+                            self.m
+                        );
+                    }
+                    return Err(LpError::Numerical(
+                        "refactorization lost primal feasibility".into(),
+                    ));
+                }
+                for v in &mut work.xb {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
+                }
             }
         }
         Ok(())
+    }
+
+    /// Harris two-pass ratio test over rows whose pivot entry exceeds
+    /// `pivot_floor`. Pass 1 computes the step bound *relaxed by the
+    /// feasibility tolerance in the numerator* — `(x_B + delta) / d` — over
+    /// every participating row; the slack is what makes the test
+    /// numerically sound: if the strictly binding row has a near-zero
+    /// pivot, a row with a solid pivot and an only-delta-worse ratio can
+    /// leave instead, at the cost of a transient infeasibility of at most
+    /// `delta` (clamped away by the update). Rows holding a basic
+    /// artificial that the step would increase (`d < 0`) bound the step in
+    /// phase 2 through the same slack, since artificials must stay at ~zero
+    /// once feasibility is reached.
+    ///
+    /// Pass 2 picks the leaving row among those whose *strict* ratio fits
+    /// under the relaxed bound: largest pivot magnitude for stability, or
+    /// smallest basic index in Bland mode (anti-cycling; callers pass
+    /// `delta = 0` there, because Harris's slack re-admits the degenerate
+    /// pivots Bland's rule exists to order, and the combination can cycle).
+    ///
+    /// Returns `(position, theta, pivot)` of the chosen row, or `None` when
+    /// no participating row bounds the step.
+    fn ratio_test(
+        &self,
+        work: &Work,
+        d: &[f64],
+        delta: f64,
+        pivot_floor: f64,
+        phase1: bool,
+        bland_mode: bool,
+    ) -> Option<(usize, f64, f64)> {
+        let mut theta_relaxed = f64::INFINITY;
+        for (p, &dp) in d.iter().enumerate() {
+            if dp > pivot_floor {
+                theta_relaxed = theta_relaxed.min((work.xb[p].max(0.0) + delta) / dp);
+            } else if !phase1 && dp < -PIVOT_TOL && work.basis[p] >= self.total_real {
+                theta_relaxed = theta_relaxed.min(delta / -dp);
+            }
+        }
+        if theta_relaxed == f64::INFINITY {
+            return None;
+        }
+        let mut leaving: Option<usize> = None;
+        let mut best_pivot = 0.0f64;
+        let mut theta = 0.0f64;
+        for (p, &dp) in d.iter().enumerate() {
+            let strict_ratio = if dp > pivot_floor {
+                work.xb[p].max(0.0) / dp
+            } else if !phase1 && dp < -PIVOT_TOL && work.basis[p] >= self.total_real {
+                0.0
+            } else {
+                continue;
+            };
+            if strict_ratio > theta_relaxed {
+                continue;
+            }
+            let better = match leaving {
+                None => true,
+                Some(lp) => {
+                    if bland_mode {
+                        work.basis[p] < work.basis[lp]
+                    } else {
+                        dp.abs() > best_pivot.abs()
+                    }
+                }
+            };
+            if better {
+                best_pivot = dp;
+                theta = strict_ratio;
+                leaving = Some(p);
+            }
+        }
+        leaving.map(|p| (p, theta, best_pivot))
     }
 
     /// Core pivoting loop minimizing `costs` over the real (non-artificial)
@@ -734,6 +972,7 @@ impl RevisedSimplex {
         let mut stall_counter = 0usize;
         let mut best_objective = f64::INFINITY;
         let mut bland_mode = false;
+        let mut reperturbations = 0usize;
         let mut y = vec![0.0; self.m];
         let mut d = vec![0.0; self.m];
         // Columns whose best available pivot was numerically unusable, banned
@@ -775,14 +1014,17 @@ impl RevisedSimplex {
                 }
             }
             let Some(q) = entering else {
-                // Apparent optimality is only trusted from a fresh
-                // factorization: the eta product form drifts away from the
-                // true basis over long pivot chains, and reduced costs
+                // Apparent optimality after a long pivot chain is only
+                // trusted from a fresh factorization: the eta product form
+                // drifts away from the true basis, and reduced costs
                 // computed from a drifted factor can declare a far-from
                 // optimal (or even infeasible) point "optimal". Refactorize
                 // from the actual basis columns and re-price; a clean factor
                 // either confirms optimality or surfaces the remaining work.
-                if work.factor.eta_count() > 0 {
+                // A short chain (TRUSTED_ETA_COUNT) is accepted as is —
+                // paying a full factorization to confirm a five-pivot solve
+                // costs more than the solve.
+                if work.factor.eta_count() > TRUSTED_ETA_COUNT {
                     self.refresh_factor(work, phase1)?;
                     banned.fill(false);
                     continue;
@@ -792,12 +1034,41 @@ impl RevisedSimplex {
                 // usable pivot. Report a numerical failure so the caller
                 // retries cold or falls back to the oracle, rather than
                 // returning a possibly invalid bound as Optimal.
+                //
+                // The verdict is scale-aware: reduced costs are computed as
+                // `c_j - y^T a_j`, so on ill-conditioned LPs with dual
+                // prices of order 1e5 (the mean-queue-length bounds) they
+                // carry cancellation noise of order `||y||_inf * eps_mach`
+                // amplified by the pricing dot products. A column whose
+                // reduced cost is negative only *within that noise floor*
+                // is not evidence of suboptimality — treating it as such
+                // made `bound_all()` error out (and fall back to the dense
+                // oracle, which then cycles) on the SCV=16 case study from
+                // N ~ 20. Columns with a genuinely negative reduced cost
+                // relative to the dual scale still fail the solve.
+                let dual_scale = 1.0 + y.iter().fold(0.0f64, |acc, v| acc.max(v.abs()));
                 let blocked = banned.iter().enumerate().any(|(j, &is_banned)| {
                     is_banned
                         && !work.in_basis[j]
-                        && costs[j] - self.cols.col_dot(j, &y) < -tol
+                        && costs[j] - self.cols.col_dot(j, &y) < -tol * dual_scale
                 });
                 if blocked {
+                    // The vertex is genuinely suboptimal but every
+                    // improving column's pivot is unusable under the
+                    // *current* perturbed basic values. The pivot entries do
+                    // not depend on the right-hand side: re-draw the
+                    // perturbation (new salt) so different rows become
+                    // ratio-binding, and resume. Only when repeated
+                    // re-draws cannot unlock a pivot is the solve declared
+                    // numerically lost.
+                    if reperturbations < MAX_REPERTURBATIONS {
+                        self.pert_salt.set(self.pert_salt.get().wrapping_add(1));
+                        if self.apply_perturbation(work) {
+                            reperturbations += 1;
+                            banned.fill(false);
+                            continue;
+                        }
+                    }
                     return Err(LpError::Numerical(
                         "optimality blocked by improving columns without usable pivots".into(),
                     ));
@@ -828,53 +1099,22 @@ impl RevisedSimplex {
             // occasionally smaller pivots, which the suspect-pivot guard
             // below absorbs.
             let delta = if bland_mode { 0.0 } else { RATIO_DELTA };
-            let mut theta_relaxed = f64::INFINITY;
-            for (p, &dp) in d.iter().enumerate() {
-                if dp > PIVOT_TOL {
-                    theta_relaxed = theta_relaxed.min((work.xb[p].max(0.0) + delta) / dp);
-                } else if !phase1 && dp < -PIVOT_TOL && work.basis[p] >= self.total_real {
-                    theta_relaxed = theta_relaxed.min(delta / -dp);
-                }
+            // The test runs twice when needed. The first attempt considers
+            // only rows with a *solid* pivot entry (`> MIN_PIVOT`): on the
+            // ill-conditioned bound LPs, rows with noise-level entries
+            // (1e-9..1e-7, mostly drift over true zeros) and ~zero basic
+            // values otherwise capture the minimum ratio and force the
+            // engine onto near-singular pivots. Ignoring them is sound as
+            // long as the step stays bounded — their values drift by at
+            // most `theta * MIN_PIVOT`, inside the feasibility tolerance —
+            // so a long-step choice falls back to the strict test over
+            // every row.
+            let mut choice = self.ratio_test(work, &d, delta, MIN_PIVOT, phase1, bland_mode);
+            match choice {
+                Some((_, theta, _)) if theta <= MAX_TINY_PIVOT_STEP => {}
+                _ => choice = self.ratio_test(work, &d, delta, PIVOT_TOL, phase1, bland_mode),
             }
-            if theta_relaxed == f64::INFINITY {
-                return Ok(false);
-            }
-            // Pass 2 picks the leaving row among those whose *strict* ratio
-            // fits under the relaxed bound: largest pivot magnitude for
-            // stability, or smallest basic index in Bland mode
-            // (anti-cycling). The step length is the chosen row's strict
-            // ratio.
-            let mut leaving: Option<usize> = None;
-            let mut best_pivot = 0.0f64;
-            let mut theta = 0.0f64;
-            for (p, &dp) in d.iter().enumerate() {
-                let strict_ratio = if dp > PIVOT_TOL {
-                    work.xb[p].max(0.0) / dp
-                } else if !phase1 && dp < -PIVOT_TOL && work.basis[p] >= self.total_real {
-                    0.0
-                } else {
-                    continue;
-                };
-                if strict_ratio > theta_relaxed {
-                    continue;
-                }
-                let better = match leaving {
-                    None => true,
-                    Some(lp) => {
-                        if bland_mode {
-                            work.basis[p] < work.basis[lp]
-                        } else {
-                            dp.abs() > best_pivot.abs()
-                        }
-                    }
-                };
-                if better {
-                    best_pivot = dp;
-                    theta = strict_ratio;
-                    leaving = Some(p);
-                }
-            }
-            let Some(position) = leaving else {
+            let Some((position, theta, best_pivot)) = choice else {
                 return Ok(false);
             };
 
@@ -886,16 +1126,23 @@ impl RevisedSimplex {
                 continue;
             }
             // Even with a fresh factorization the best pivot can be
-            // genuinely tiny; pivoting on it would take an enormous step.
-            // Ban the column for this pricing round instead (it becomes
-            // available again after the next basis change).
-            if best_pivot.abs() < MIN_PIVOT {
+            // genuinely tiny. A long step on it would smear macroscopic
+            // infeasibility over the rows the ratio test ignored, so those
+            // columns are banned for the pricing round (available again
+            // after the next basis change); a *bounded* step is taken, with
+            // the near-singular eta purged by an immediate refactorization
+            // (see MAX_TINY_PIVOT_STEP).
+            let tiny_pivot = best_pivot.abs() < MIN_PIVOT;
+            if tiny_pivot && theta > MAX_TINY_PIVOT_STEP {
                 banned[q] = true;
                 work.iterations += 1;
                 continue;
             }
 
             self.apply_pivot(work, position, q, theta, &d, phase1)?;
+            if tiny_pivot {
+                self.refresh_factor(work, phase1)?;
+            }
             banned.fill(false);
 
             let current_objective: f64 = work

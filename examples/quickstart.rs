@@ -4,7 +4,8 @@
 //! Run with `cargo run --release --example quickstart`.
 
 use mapqn::core::{
-    solve_exact, ClosedNetwork, MarginalBoundSolver, PerformanceIndex, Service, Station,
+    solve_exact, ClosedNetwork, MarginalBoundSolver, PerformanceIndex, PopulationSweep, Service,
+    Station,
 };
 use mapqn::linalg::DMatrix;
 use mapqn::stochastic::{fit_map2, Map2FitSpec};
@@ -77,4 +78,27 @@ fn main() {
     assert!(disk_util.contains(exact.utilization[1], 1e-6));
     assert!(response.contains(exact.system_response_time, 1e-6));
     println!("\nAll exact values fall inside the bounds, as the theory guarantees.");
+
+    // 5. Scenario families: the same model across a whole range of
+    //    populations ("what if we admit more jobs?"). A PopulationSweep
+    //    carries each objective's optimal basis from one population to the
+    //    next and re-solves it with the dual simplex, instead of starting
+    //    every population from scratch.
+    println!("\nPopulation sweep (dual-simplex warm starts across N):");
+    let mut sweep = PopulationSweep::new(&network).expect("sweep");
+    for population in [2usize, 4, 8, 12, 16] {
+        let bounds = sweep.bounds_at(population).expect("sweep bounds");
+        println!(
+            "  N = {population:>2}: throughput in [{:.4}, {:.4}], response in [{:.4}, {:.4}] s",
+            bounds.system_throughput.lower,
+            bounds.system_throughput.upper,
+            bounds.system_response_time.lower,
+            bounds.system_response_time.upper
+        );
+    }
+    let stats = sweep.stats();
+    println!(
+        "  warm starts: {} dual, {} repaired, {} dense fallbacks",
+        stats.dual_warm_objectives, stats.repair_warm_objectives, stats.dense_fallbacks
+    );
 }
