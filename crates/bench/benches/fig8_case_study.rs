@@ -14,7 +14,7 @@ fn bench_fig8(c: &mut Criterion) {
         let network = figure5_network(n, 16.0, 0.5).unwrap();
         group.bench_with_input(BenchmarkId::new("utilization_bounds", n), &network, |b, net| {
             b.iter(|| {
-                let solver = MarginalBoundSolver::new(black_box(net)).unwrap();
+                let mut solver = MarginalBoundSolver::new(black_box(net)).unwrap();
                 solver.bound(PerformanceIndex::Utilization(2)).unwrap()
             })
         });

@@ -15,7 +15,7 @@ use mapqn_core::{MarginalBoundSolver, PerformanceIndex};
 
 fn width_for(options: BoundOptions, population: usize) -> (f64, f64) {
     let network = figure5_network(population, 16.0, 0.5).expect("network");
-    let solver = MarginalBoundSolver::with_options(&network, options).expect("solver");
+    let mut solver = MarginalBoundSolver::with_options(&network, options).expect("solver");
     let util = solver
         .bound(PerformanceIndex::Utilization(2))
         .expect("utilization bound");

@@ -90,13 +90,13 @@ fn main() {
             let network = model.network.with_population(n).expect("population");
 
             let start = Instant::now();
-            let dense_solver =
+            let mut dense_solver =
                 MarginalBoundSolver::with_options(&network, dense_options()).expect("solver");
             let dense_bounds = dense_solver.bound_all().expect("dense bound_all");
             let cold_dense_ms = start.elapsed().as_secs_f64() * 1e3;
 
             let start = Instant::now();
-            let revised_solver = MarginalBoundSolver::new(&network).expect("solver");
+            let mut revised_solver = MarginalBoundSolver::new(&network).expect("solver");
             let revised_bounds = revised_solver.bound_all().expect("revised bound_all");
             let warm_revised_ms = start.elapsed().as_secs_f64() * 1e3;
 
@@ -152,12 +152,12 @@ fn main() {
         let network = figure5_network(n, 4.0, 0.5).expect("figure5 network");
 
         let start = Instant::now();
-        let cold = MarginalBoundSolver::new(&network).expect("solver");
+        let mut cold = MarginalBoundSolver::new(&network).expect("solver");
         cold.bound_all().expect("bound_all");
         sweep_cold_ms.push(start.elapsed().as_secs_f64() * 1e3);
 
         let start = Instant::now();
-        let seeded = MarginalBoundSolver::new(&network).expect("solver");
+        let mut seeded = MarginalBoundSolver::new(&network).expect("solver");
         if let Some(prev) = previous.as_ref() {
             if let Some(basis) = prev.translate_basis_to(&seeded) {
                 seeded.seed_basis(basis).expect("seed basis");

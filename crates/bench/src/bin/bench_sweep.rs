@@ -87,7 +87,7 @@ fn run_kernel(
     let start = Instant::now();
     for &n in populations {
         let net = network.with_population(n).expect("population");
-        let solver = MarginalBoundSolver::new(&net).expect("solver");
+        let mut solver = MarginalBoundSolver::new(&net).expect("solver");
         cold_results.push(solver.bound_all().expect("cold bound_all"));
     }
     let cold_ms = start.elapsed().as_secs_f64() * 1e3;

@@ -60,7 +60,7 @@ fn main() {
         let aba_upper = (aba.throughput.upper * demand1).min(1.0);
 
         let (lp_lower, lp_upper) = if n <= lp_population_cap {
-            let solver = MarginalBoundSolver::new(&network).expect("bound solver");
+            let mut solver = MarginalBoundSolver::new(&network).expect("bound solver");
             let u = solver
                 .bound(PerformanceIndex::Utilization(0))
                 .expect("utilization bounds");

@@ -77,7 +77,7 @@ fn main() {
                     break;
                 }
             };
-            let solver = match MarginalBoundSolver::new(&network) {
+            let mut solver = match MarginalBoundSolver::new(&network) {
                 Ok(s) => s,
                 Err(_) => {
                     failed = true;

@@ -51,7 +51,6 @@ use crate::{CoreError, Result};
 use mapqn_lp::{
     Basis, LpProblem, LpSolution, LpStatus, RevisedSimplex, Sense, SimplexEngine, SimplexOptions,
 };
-use std::cell::{Cell, RefCell};
 
 /// Which optional constraint families to include (the mandatory ones —
 /// normalization, population, consistency — are always added).
@@ -195,6 +194,13 @@ impl VariableLayout {
     }
 }
 
+/// Whether `MAPQN_DUAL_DEBUG` tracing is on — read once per process (the
+/// flag is consulted on every LP solve, and `env::var_os` is not free).
+fn dual_debug() -> bool {
+    static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FLAG.get_or_init(|| std::env::var_os("MAPQN_DUAL_DEBUG").is_some())
+}
+
 /// Semantic identity of a structural LP variable (see [`VariableLayout`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum MarginalVar {
@@ -250,6 +256,31 @@ impl RowKey {
 struct WarmState {
     engine: RevisedSimplex,
     basis: Option<Basis>,
+}
+
+/// The solver's owned mutable state: the warm-started LP engine, the
+/// per-slot bases and engine paths of the last full solve, and the usage
+/// counters.
+///
+/// This used to live behind `RefCell`/`Cell` interior mutability so the
+/// solve methods could take `&self`; it is now a plain owned struct (and the
+/// solve methods take `&mut self`) so that a `MarginalBoundSolver` is
+/// `Send` by construction — an ensemble worker thread owns its solver
+/// instances outright, mutates them without any runtime borrow machinery,
+/// and its stats are merged with the other workers' at join
+/// (`crate::bounds::ensemble`).
+#[derive(Default)]
+struct SolverContext {
+    warm: Option<WarmState>,
+    /// Optimal bases of the objectives solved by the last
+    /// [`MarginalBoundSolver::bound_all`]-style call, in canonical order
+    /// (see [`MarginalBoundSolver::canonical_indices`]); the raw material a
+    /// population sweep translates into the next population's dual seeds.
+    solved_bases: Vec<Basis>,
+    /// Per-slot engine path of the last full solve, aligned with
+    /// `solved_bases`.
+    solve_outcomes: Vec<SlotOutcome>,
+    stats: SolverStats,
 }
 
 /// A cross-population warm start only counts as a *successful transfer*
@@ -333,16 +364,9 @@ pub struct MarginalBoundSolver {
     /// First artificial column in standard form (structural + slack count),
     /// mirroring `RevisedSimplex::num_real_columns`.
     total_real: usize,
-    warm: RefCell<Option<WarmState>>,
-    /// Optimal bases of the objectives solved by the last
-    /// [`MarginalBoundSolver::bound_all`]-style call, in canonical order
-    /// (see [`MarginalBoundSolver::canonical_indices`]); the raw material a
-    /// population sweep translates into the next population's dual seeds.
-    solved_bases: RefCell<Vec<Basis>>,
-    /// Per-slot engine path of the last full solve, aligned with
-    /// `solved_bases`.
-    solve_outcomes: RefCell<Vec<SlotOutcome>>,
-    stats: Cell<SolverStats>,
+    /// All mutable solve state (warm engine, recorded bases/outcomes,
+    /// counters), owned and `Send` — see [`SolverContext`].
+    context: SolverContext,
 }
 
 impl MarginalBoundSolver {
@@ -398,10 +422,7 @@ impl MarginalBoundSolver {
             row_slack,
             slack_rows,
             total_real: cursor,
-            warm: RefCell::new(None),
-            solved_bases: RefCell::new(Vec::new()),
-            solve_outcomes: RefCell::new(Vec::new()),
-            stats: Cell::new(SolverStats::default()),
+            context: SolverContext::default(),
         })
     }
 
@@ -411,13 +432,7 @@ impl MarginalBoundSolver {
     /// surface as test failures instead of silent slowdowns.
     #[must_use]
     pub fn stats(&self) -> SolverStats {
-        self.stats.get()
-    }
-
-    fn bump_stats(&self, update: impl FnOnce(&mut SolverStats)) {
-        let mut stats = self.stats.get();
-        update(&mut stats);
-        self.stats.set(stats);
+        self.context.stats
     }
 
     /// Number of LP variables (the `M^2 (N+1) K`-style count the paper
@@ -520,7 +535,7 @@ impl MarginalBoundSolver {
     /// infeasible or unbounded program (which would indicate a bug in the
     /// constraint generation, since the true distribution is feasible and
     /// every supported functional is bounded).
-    pub fn bound(&self, index: PerformanceIndex) -> Result<BoundInterval> {
+    pub fn bound(&mut self, index: PerformanceIndex) -> Result<BoundInterval> {
         let terms = self.objective_terms(index);
         let lower = self.solve_checked(&terms, Sense::Minimize)?;
         let upper = self.solve_checked(&terms, Sense::Maximize)?;
@@ -528,7 +543,7 @@ impl MarginalBoundSolver {
     }
 
     /// Solves one objective and insists on an optimal termination.
-    fn solve_checked(&self, terms: &[(usize, f64)], sense: Sense) -> Result<LpSolution> {
+    fn solve_checked(&mut self, terms: &[(usize, f64)], sense: Sense) -> Result<LpSolution> {
         let solution = self.solve_objective(terms, sense)?;
         if solution.status != LpStatus::Optimal {
             return Err(CoreError::BoundLpFailed(format!(
@@ -598,7 +613,7 @@ impl MarginalBoundSolver {
     ///
     /// # Errors
     /// Propagates LP failures.
-    pub fn bound_all(&self) -> Result<NetworkBounds> {
+    pub fn bound_all(&mut self) -> Result<NetworkBounds> {
         self.bound_all_seeded(&[])
     }
 
@@ -625,56 +640,23 @@ impl MarginalBoundSolver {
     ///
     /// # Errors
     /// Propagates LP failures.
-    pub fn bound_all_seeded(&self, seeds: &[Option<Basis>]) -> Result<NetworkBounds> {
+    pub fn bound_all_seeded(&mut self, seeds: &[Option<Basis>]) -> Result<NetworkBounds> {
         let m = self.layout.m;
         let n = self.layout.population;
         let indices = self.canonical_indices();
         let num_indices = indices.len();
-        let seed_at = |slot: usize| seeds.get(slot).and_then(Option::as_ref);
         {
             let empty = Basis::from_columns(Vec::new());
-            let mut bases = self.solved_bases.borrow_mut();
-            bases.clear();
-            bases.resize(2 * num_indices, empty);
-            let mut outcomes = self.solve_outcomes.borrow_mut();
-            outcomes.clear();
-            outcomes.resize(2 * num_indices, SlotOutcome::Primal);
+            self.context.solved_bases.clear();
+            self.context.solved_bases.resize(2 * num_indices, empty);
+            self.context.solve_outcomes.clear();
+            self.context
+                .solve_outcomes
+                .resize(2 * num_indices, SlotOutcome::Primal);
         }
 
-        // Per-solve tracing for performance forensics (set MAPQN_DUAL_DEBUG
-        // to see which objectives transfer, roll, or fall back, with pivot
-        // counts — the data every tuning decision in this module came from).
-        let debug = std::env::var_os("MAPQN_DUAL_DEBUG").is_some();
         let mut lowers: Vec<Option<LpSolution>> = vec![None; num_indices];
         let mut uppers: Vec<Option<LpSolution>> = vec![None; num_indices];
-        let mut solve_one = |i: usize, sense: Sense| -> Result<()> {
-            let slot = if sense == Sense::Maximize {
-                num_indices + i
-            } else {
-                i
-            };
-            let t0 = std::time::Instant::now();
-            let (solution, basis, outcome) =
-                self.solve_checked_seeded(&self.objective_terms(indices[i]), sense, seed_at(slot))?;
-            if debug {
-                eprintln!(
-                    "  solve {:?} {sense:?}: {:.1}ms {} its seeded={} outcome={outcome:?}",
-                    indices[i],
-                    t0.elapsed().as_secs_f64() * 1e3,
-                    solution.iterations,
-                    seed_at(slot).is_some()
-                );
-            }
-            self.solved_bases.borrow_mut()[slot] = basis;
-            self.solve_outcomes.borrow_mut()[slot] = outcome;
-            let store = if sense == Sense::Maximize {
-                &mut uppers
-            } else {
-                &mut lowers
-            };
-            store[i] = Some(solution);
-            Ok(())
-        };
 
         // Minimizations first — the phase-1 vertex (everything on the
         // slacks) is closer to the lower-bound optima — each block in
@@ -686,11 +668,11 @@ impl MarginalBoundSolver {
         // disturbing the objectives around it. When slot 0 is seeded and
         // its dual re-solve succeeds, it also stands in for phase 1 — a
         // seeded sweep step never goes cold at all.
-        for i in 0..num_indices {
-            solve_one(i, Sense::Minimize)?;
+        for (i, slot) in lowers.iter_mut().enumerate() {
+            *slot = Some(self.solve_slot(&indices, i, Sense::Minimize, seeds)?);
         }
-        for i in 0..num_indices {
-            solve_one(i, Sense::Maximize)?;
+        for (i, slot) in uppers.iter_mut().enumerate() {
+            *slot = Some(self.solve_slot(&indices, i, Sense::Maximize, seeds)?);
         }
 
         let lower_at = |i: usize| lowers[i].as_ref().expect("solved above");
@@ -718,12 +700,48 @@ impl MarginalBoundSolver {
         })
     }
 
+    /// Solves one canonical slot (objective `indices[i]` in `sense`) with
+    /// its optional seed, recording the optimal basis and engine path at the
+    /// slot. Per-solve tracing for performance forensics is enabled by the
+    /// `MAPQN_DUAL_DEBUG` environment variable (which objectives transfer,
+    /// roll, or fall back, with pivot counts — the data every tuning
+    /// decision in this module came from).
+    fn solve_slot(
+        &mut self,
+        indices: &[PerformanceIndex],
+        i: usize,
+        sense: Sense,
+        seeds: &[Option<Basis>],
+    ) -> Result<LpSolution> {
+        let slot = if sense == Sense::Maximize {
+            indices.len() + i
+        } else {
+            i
+        };
+        let seed = seeds.get(slot).and_then(Option::as_ref);
+        let terms = self.objective_terms(indices[i]);
+        let t0 = std::time::Instant::now();
+        let (solution, basis, outcome) = self.solve_checked_seeded(&terms, sense, seed)?;
+        if dual_debug() {
+            eprintln!(
+                "  solve {:?} {sense:?}: {:.1}ms {} its seeded={} outcome={outcome:?}",
+                indices[i],
+                t0.elapsed().as_secs_f64() * 1e3,
+                solution.iterations,
+                seed.is_some()
+            );
+        }
+        self.context.solved_bases[slot] = basis;
+        self.context.solve_outcomes[slot] = outcome;
+        Ok(solution)
+    }
+
     /// Convenience: bounds on the system response time only (one pair of
     /// LPs), the quantity evaluated in Table 1 of the paper.
     ///
     /// # Errors
     /// Propagates LP failures.
-    pub fn response_time_bounds(&self) -> Result<BoundInterval> {
+    pub fn response_time_bounds(&mut self) -> Result<BoundInterval> {
         let x = self.bound(PerformanceIndex::SystemThroughput)?;
         Ok(response_time_from_throughput(x, self.layout.population))
     }
@@ -733,7 +751,7 @@ impl MarginalBoundSolver {
     /// the solution (an empty basis when the dense oracle answered — it
     /// carries no reusable basis) plus the engine path taken.
     fn solve_checked_seeded(
-        &self,
+        &mut self,
         terms: &[(usize, f64)],
         sense: Sense,
         seed: Option<&Basis>,
@@ -760,7 +778,7 @@ impl MarginalBoundSolver {
     /// the configured engine. The revised path warm starts from the basis of
     /// the previous solve and falls back to the dense oracle if the engine
     /// reports a numerical failure.
-    fn solve_objective(&self, terms: &[(usize, f64)], sense: Sense) -> Result<LpSolution> {
+    fn solve_objective(&mut self, terms: &[(usize, f64)], sense: Sense) -> Result<LpSolution> {
         self.solve_objective_seeded(terms, sense, None)
             .map(|(solution, _, _)| solution)
     }
@@ -771,7 +789,7 @@ impl MarginalBoundSolver {
     /// masquerade as mysterious slowdowns (the oracle cycles on the larger
     /// case-study LPs) instead of failing visibly.
     fn solve_objective_seeded(
-        &self,
+        &mut self,
         terms: &[(usize, f64)],
         sense: Sense,
         seed: Option<&Basis>,
@@ -780,7 +798,7 @@ impl MarginalBoundSolver {
             return Ok((self.solve_dense(terms, sense)?, None, SlotOutcome::Primal));
         }
         let attempt = self.solve_revised(terms, sense, seed);
-        if std::env::var_os("MAPQN_DUAL_DEBUG").is_some() {
+        if dual_debug() {
             match &attempt {
                 Ok(None) => eprintln!("dense-fallback: revised returned non-optimal"),
                 Err(CoreError::Lp(e)) => eprintln!("dense-fallback: revised error: {e}"),
@@ -793,7 +811,7 @@ impl MarginalBoundSolver {
             // oracle produce the authoritative answer (or error) — but
             // count the fallback so it stays observable.
             Ok(None) | Err(CoreError::Lp(_)) => {
-                self.bump_stats(|s| s.dense_fallbacks += 1);
+                self.context.stats.dense_fallbacks += 1;
                 Ok((
                     self.solve_dense(terms, sense)?,
                     None,
@@ -814,20 +832,21 @@ impl MarginalBoundSolver {
     /// no phase 1 at all. A rejected seed silently degrades to the primal
     /// warm-start path (and is counted in the stats).
     fn solve_revised(
-        &self,
+        &mut self,
         terms: &[(usize, f64)],
         sense: Sense,
         dual_seed: Option<&Basis>,
     ) -> Result<Option<(LpSolution, Basis, SlotOutcome)>> {
-        let mut warm_slot = self.warm.borrow_mut();
-        if warm_slot.is_none() {
+        if self.context.warm.is_none() {
             let engine = RevisedSimplex::new(&self.base).map_err(CoreError::Lp)?;
-            *warm_slot = Some(WarmState {
+            engine.set_perturbation_salt(self.options.simplex.perturbation_salt);
+            self.context.warm = Some(WarmState {
                 engine,
                 basis: None,
             });
         }
-        let warm = warm_slot.as_mut().expect("initialized above");
+        let stats = &mut self.context.stats;
+        let warm = self.context.warm.as_mut().expect("initialized above");
 
         let mut objective = vec![0.0; self.layout.total];
         for &(idx, c) in terms {
@@ -850,20 +869,18 @@ impl MarginalBoundSolver {
                         // as a non-transfer so sweep adaptivity reacts.
                         SlotOutcome::Primal
                     };
-                    self.bump_stats(|s| {
-                        s.revised_solves += 1;
-                        // Count only solves *classified* as transfers, so
-                        // the stats agree with the sweep's adaptation.
-                        if outcome == SlotOutcome::DualWarm {
-                            s.dual_warm_solves += 1;
-                        }
-                    });
+                    stats.revised_solves += 1;
+                    // Count only solves *classified* as transfers, so the
+                    // stats agree with the sweep's adaptation.
+                    if outcome == SlotOutcome::DualWarm {
+                        stats.dual_warm_solves += 1;
+                    }
                     return Ok(Some((solution, basis, outcome)));
                 }
                 // Unusable seed (dual infeasible, stalled, or a numerical
                 // error): degrade to the primal path below.
                 Ok(_) | Err(_) => {
-                    self.bump_stats(|s| s.dual_seed_rejections += 1);
+                    stats.dual_seed_rejections += 1;
                 }
             }
         }
@@ -908,15 +925,13 @@ impl MarginalBoundSolver {
         } else {
             SlotOutcome::Primal
         };
-        self.bump_stats(|s| {
-            s.revised_solves += 1;
-            // Count only repairs whose follow-up solve was short enough to
-            // classify as a transfer, so the stats agree with the sweep's
-            // adaptation (and with what the counter's name promises).
-            if outcome == SlotOutcome::RepairWarm {
-                s.feasibility_repairs += 1;
-            }
-        });
+        stats.revised_solves += 1;
+        // Count only repairs whose follow-up solve was short enough to
+        // classify as a transfer, so the stats agree with the sweep's
+        // adaptation (and with what the counter's name promises).
+        if outcome == SlotOutcome::RepairWarm {
+            stats.feasibility_repairs += 1;
+        }
         Ok(Some((solution, next_basis, outcome)))
     }
 
@@ -937,7 +952,7 @@ impl MarginalBoundSolver {
     /// population sweep seed the next population's solver.
     #[must_use]
     pub fn warm_basis(&self) -> Option<Basis> {
-        self.warm.borrow().as_ref().and_then(|w| w.basis.clone())
+        self.context.warm.as_ref().and_then(|w| w.basis.clone())
     }
 
     /// The optimal bases recorded by the last
@@ -947,7 +962,7 @@ impl MarginalBoundSolver {
     /// call.
     #[must_use]
     pub fn solved_bases(&self) -> Vec<Basis> {
-        self.solved_bases.borrow().clone()
+        self.context.solved_bases.clone()
     }
 
     /// The engine path taken for each canonical slot of the last
@@ -957,7 +972,7 @@ impl MarginalBoundSolver {
     /// that keep rejecting them.
     #[must_use]
     pub fn solve_outcomes(&self) -> Vec<SlotOutcome> {
-        self.solve_outcomes.borrow().clone()
+        self.context.solve_outcomes.clone()
     }
 
     /// Translates one basis of this solver into the variable numbering of
@@ -1127,8 +1142,7 @@ impl MarginalBoundSolver {
     /// (see [`MarginalBoundSolver::translate_basis`]).
     #[must_use]
     pub fn translate_basis_to(&self, target: &MarginalBoundSolver) -> Option<Basis> {
-        let source = self.warm.borrow();
-        let basis = source.as_ref()?.basis.as_ref()?;
+        let basis = self.context.warm.as_ref()?.basis.as_ref()?;
         Some(self.translate_basis(basis, target))
     }
 
@@ -1140,12 +1154,12 @@ impl MarginalBoundSolver {
     /// has run yet.
     #[must_use]
     pub fn translate_solved_bases_to(&self, target: &MarginalBoundSolver) -> Option<Vec<Basis>> {
-        let bases = self.solved_bases.borrow();
-        if bases.is_empty() {
+        if self.context.solved_bases.is_empty() {
             return None;
         }
         Some(
-            bases
+            self.context
+                .solved_bases
                 .iter()
                 .map(|basis| self.translate_basis(basis, target))
                 .collect(),
@@ -1159,13 +1173,13 @@ impl MarginalBoundSolver {
     ///
     /// # Errors
     /// Propagates LP construction failures.
-    pub fn seed_basis(&self, basis: Basis) -> Result<()> {
-        let mut warm_slot = self.warm.borrow_mut();
-        match warm_slot.as_mut() {
+    pub fn seed_basis(&mut self, basis: Basis) -> Result<()> {
+        match self.context.warm.as_mut() {
             Some(warm) => warm.basis = Some(basis),
             None => {
                 let engine = RevisedSimplex::new(&self.base).map_err(CoreError::Lp)?;
-                *warm_slot = Some(WarmState {
+                engine.set_perturbation_salt(self.options.simplex.perturbation_salt);
+                self.context.warm = Some(WarmState {
                     engine,
                     basis: Some(basis),
                 });
@@ -1174,6 +1188,17 @@ impl MarginalBoundSolver {
         Ok(())
     }
 }
+
+// Compile-time guarantee the ensemble layer relies on: a solver, together
+// with its owned `SolverContext`, moves across threads. (This is what the
+// old `RefCell`/`Cell` fields were refactored away for — they were `Send`
+// too, but the owned context makes the solver's thread story explicit and
+// keeps it from regressing into shared-interior-mutability designs that
+// would not be.)
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<MarginalBoundSolver>();
+};
 
 /// Little's-law conversion used by the paper: `R_min = N / X_max`,
 /// `R_max = N / X_min`.
@@ -1411,7 +1436,7 @@ mod tests {
         )
         .unwrap();
         let exact = solve_exact(&net).unwrap();
-        let solver = MarginalBoundSolver::new(&net).unwrap();
+        let mut solver = MarginalBoundSolver::new(&net).unwrap();
         let bounds = solver.bound_all().unwrap();
         for k in 0..2 {
             assert!(
@@ -1434,7 +1459,7 @@ mod tests {
         for &n in &[1usize, 3, 6, 10] {
             let net = map_tandem(n);
             let exact = solve_exact(&net).unwrap();
-            let solver = MarginalBoundSolver::new(&net).unwrap();
+            let mut solver = MarginalBoundSolver::new(&net).unwrap();
             let x = solver.bound(PerformanceIndex::SystemThroughput).unwrap();
             assert!(
                 x.contains(exact.system_throughput, 1e-6),
@@ -1454,7 +1479,7 @@ mod tests {
     fn bounds_bracket_exact_for_figure5_network() {
         let net = templates::figure5_network(6, 4.0, 0.5).unwrap();
         let exact = solve_exact(&net).unwrap();
-        let solver = MarginalBoundSolver::new(&net).unwrap();
+        let mut solver = MarginalBoundSolver::new(&net).unwrap();
         let bounds = solver.bound_all().unwrap();
         for k in 0..3 {
             assert!(
@@ -1481,7 +1506,7 @@ mod tests {
         // still require genuinely informative bounds.
         let net = templates::figure5_network(20, 4.0, 0.5).unwrap();
         let exact = solve_exact(&net).unwrap();
-        let solver = MarginalBoundSolver::new(&net).unwrap();
+        let mut solver = MarginalBoundSolver::new(&net).unwrap();
         let r = solver.response_time_bounds().unwrap();
         assert!(r.contains(exact.system_response_time, 1e-6));
         assert!(
@@ -1495,14 +1520,14 @@ mod tests {
     fn dropping_constraint_families_loosens_but_never_invalidates_bounds() {
         let net = map_tandem(5);
         let exact = solve_exact(&net).unwrap();
-        let full = MarginalBoundSolver::new(&net).unwrap();
+        let mut full = MarginalBoundSolver::new(&net).unwrap();
         let full_interval = full.bound(PerformanceIndex::Utilization(1)).unwrap();
 
         let ablated_options = BoundOptions {
             include_cut_balance: false,
             ..BoundOptions::default()
         };
-        let ablated = MarginalBoundSolver::with_options(&net, ablated_options).unwrap();
+        let mut ablated = MarginalBoundSolver::with_options(&net, ablated_options).unwrap();
         let ablated_interval = ablated.bound(PerformanceIndex::Utilization(1)).unwrap();
 
         assert!(full_interval.contains(exact.utilization[1], 1e-6));

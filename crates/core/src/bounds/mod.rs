@@ -10,12 +10,17 @@
 //! * [`sweep`] — population sweeps: the same network solved across a whole
 //!   range of populations, each population dual-warm-started from the
 //!   previous one's per-objective optimal bases.
+//! * [`ensemble`] — scenario ensembles: many independent sweeps (burstiness
+//!   grids, random-model batches, capacity what-ifs) sharded across every
+//!   core with deterministic, worker-count-independent results.
 
 pub mod aba;
+pub mod ensemble;
 pub mod marginal;
 pub mod sweep;
 
 pub use aba::{aba_bounds, balanced_job_bounds, AsymptoticBounds};
+pub use ensemble::{EnsembleReport, EnsembleRunner, EnsembleStats, Scenario, ScenarioResult};
 pub use marginal::{BoundOptions, MarginalBoundSolver, NetworkBounds, SolverStats};
 pub use sweep::{PopulationSweep, SweepStats};
 

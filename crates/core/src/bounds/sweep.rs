@@ -171,7 +171,7 @@ impl PopulationSweep {
     /// Propagates network-construction and LP failures.
     pub fn bounds_at(&mut self, population: usize) -> Result<NetworkBounds> {
         let network = self.network.with_population(population)?;
-        let solver = MarginalBoundSolver::with_options(&network, self.options)?;
+        let mut solver = MarginalBoundSolver::with_options(&network, self.options)?;
         // Only the slots with real pivot work are worth seeding; everything
         // else re-prices in ~zero pivots off the rolling chain the
         // family-grouped solve order sets up, and a dual seed there pays a
@@ -301,7 +301,7 @@ mod tests {
         let mut sweep = PopulationSweep::new(&network).unwrap();
         for n in 1..=6 {
             let swept = sweep.bounds_at(n).unwrap();
-            let cold_solver =
+            let mut cold_solver =
                 MarginalBoundSolver::new(&network.with_population(n).unwrap()).unwrap();
             let cold = cold_solver.bound_all().unwrap();
             let exact = solve_exact(&network.with_population(n).unwrap()).unwrap();

@@ -57,7 +57,10 @@ pub mod service;
 pub mod statespace;
 pub mod templates;
 
-pub use bounds::{BoundInterval, MarginalBoundSolver, PerformanceIndex, PopulationSweep};
+pub use bounds::{
+    BoundInterval, EnsembleRunner, MarginalBoundSolver, PerformanceIndex, PopulationSweep,
+    Scenario,
+};
 pub use exact::solve_exact;
 pub use metrics::NetworkMetrics;
 pub use network::{ClosedNetwork, Station, StationKind};

@@ -144,7 +144,7 @@ mod tests {
             for &n in &[1usize, 4] {
                 let net = model.network.with_population(n).unwrap();
                 let exact = solve_exact(&net).unwrap();
-                let solver = MarginalBoundSolver::new(&net).unwrap();
+                let mut solver = MarginalBoundSolver::new(&net).unwrap();
                 let r = solver.response_time_bounds().unwrap();
                 assert!(
                     r.contains(exact.system_response_time, 1e-6),

@@ -159,6 +159,45 @@ pub fn tpcw_network(params: &TpcwParameters) -> Result<ClosedNetwork> {
     )
 }
 
+/// Builds the closed **server-tier** subnetwork of the TPC-W model: front
+/// server (bursty MAP service per `front_scv` / `front_acf_decay`) and
+/// database, with the client/think stage removed — the queue-only closed
+/// network a hierarchical think-time decomposition yields when the
+/// multiprogramming level is fixed. A front completion issues a database
+/// query with probability `db_query_probability`; with the complementary
+/// probability the reply leaves the tier and is immediately replaced by the
+/// next admitted request (the front self-loop).
+///
+/// The population is the multiprogramming level (in-flight requests); the
+/// returned network carries `params.browsers` as a default and is meant to
+/// be re-instantiated per level by a sweep or ensemble. This is the model
+/// family behind the capacity-planning example and the SCV×ACF grid of
+/// `bench_ensemble` — including the SCV=8 / decay-0.6 instance that
+/// historically drove the revised engine to a dense-oracle fallback at
+/// `N = 7` (fixed by the LP row equilibration; `tests/tpcw_server_tier.rs`
+/// keeps it at zero fallbacks).
+///
+/// # Errors
+/// Propagates network-construction and MAP-fitting failures.
+pub fn tpcw_server_tier(params: &TpcwParameters) -> Result<ClosedNetwork> {
+    let p = params.db_query_probability;
+    let routing = DMatrix::from_row_slice(2, 2, &[1.0 - p, p, 1.0, 0.0]);
+    let front = fit_map2(&Map2FitSpec::new(
+        params.front_mean,
+        params.front_scv,
+        params.front_acf_decay,
+    ))?
+    .map;
+    ClosedNetwork::new(
+        vec![
+            Station::queue("front-server", Service::map(front)),
+            Station::queue("database", Service::exponential(1.0 / params.db_mean)?),
+        ],
+        routing,
+        params.browsers.max(1),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,6 +252,25 @@ mod tests {
         assert!(approx_eq(v[2], p / (1.0 - p), 1e-9));
         // The front server carries autocorrelated service.
         assert!(net.station(1).service.lag1_autocorrelation().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn tpcw_server_tier_structure() {
+        let params = TpcwParameters {
+            browsers: 8,
+            front_scv: 8.0,
+            front_acf_decay: 0.6,
+            ..TpcwParameters::default()
+        };
+        let tier = tpcw_server_tier(&params).unwrap();
+        assert_eq!(tier.num_stations(), 2);
+        assert_eq!(tier.population(), 8);
+        assert!(tier.is_queue_only(), "the tier model must be LP-boundable");
+        // Visit ratios relative to the front: the DB sees p visits per
+        // front visit.
+        let v = tier.visit_ratios().unwrap();
+        assert!(approx_eq(v[1] / v[0], params.db_query_probability, 1e-9));
+        assert!(tier.station(0).service.lag1_autocorrelation().unwrap() > 0.0);
     }
 
     #[test]

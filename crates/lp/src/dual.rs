@@ -87,6 +87,18 @@ const DUAL_STALL_LIMIT: usize = 24;
 /// one factorization plus a bounded pivot count.
 const DUAL_PIVOT_BUDGET: usize = 192;
 
+/// Eta-chain length beyond which the loop's primal-feasibility verdict is
+/// confirmed from a fresh factorization before the repaired state is handed
+/// to phase 2. A long chain of dual pivots on the ill-conditioned bound LPs
+/// can drift far enough that the *maintained* basic values read feasible
+/// while the true vertex is macroscopically infeasible — the downstream
+/// primal run then "loses" feasibility at its first refactorization and
+/// dies chasing a fiction (observed at chain length ~60 on salted random
+/// models: maintained `xb` clean, true worst value `-0.36`). Short chains —
+/// the dual-warm fast path of a population sweep repairs in a handful of
+/// pivots — are trusted as is, keeping that path refactorization-free.
+const DUAL_VERIFY_ETA_COUNT: usize = 16;
+
 /// How the dual engine disposed of a seeded re-solve; returned alongside the
 /// solution so sweep drivers can report warm-start effectiveness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -170,6 +182,42 @@ impl RevisedSimplex {
                 }
             }
             let Some(r) = leaving else {
+                // Primal feasible — but only as measured through the eta
+                // chain. Confirm a non-trivial chain's verdict from a fresh
+                // factorization: if true violations surface, the loop
+                // continues from clean numbers (and the next apparent
+                // feasibility, at zero etas, is final).
+                if work.factor.eta_count() > DUAL_VERIFY_ETA_COUNT {
+                    if self
+                        .refresh_dual(&mut work, &costs, &mut reduced, &mut excluded)
+                        .is_none()
+                    {
+                        if debug {
+                            eprintln!("dual-reject: verification refresh failed");
+                        }
+                        return Ok(None);
+                    }
+                    let worst_true = work
+                        .xb
+                        .iter()
+                        .enumerate()
+                        .map(|(p, &v)| {
+                            if work.basis[p] >= self.total_real {
+                                v.abs()
+                            } else {
+                                -v
+                            }
+                        })
+                        .fold(0.0f64, f64::max);
+                    if worst_true > FEAS_TOL {
+                        if debug {
+                            eprintln!(
+                                "dual-verify: eta-chain feasibility was fiction (true worst {worst_true:.3e}), resuming from fresh factor"
+                            );
+                        }
+                        continue;
+                    }
+                }
                 break; // primal feasible: the seed basis is optimal.
             };
             if dual_pivots >= pivot_budget || work.iterations >= options.max_iterations {
@@ -436,6 +484,7 @@ impl RevisedSimplex {
             rhs,
             factor,
             iterations: 0,
+            repairs: 0,
         };
         work.factor.ftran(&mut xb);
         work.xb = xb;

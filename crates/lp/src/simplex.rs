@@ -55,6 +55,14 @@ pub struct SimplexOptions {
     pub stall_threshold: usize,
     /// Which engine solves the problem.
     pub engine: SimplexEngine,
+    /// Base salt of the revised engine's deterministic anti-degeneracy
+    /// RHS-perturbation draw. Every solve under a fixed salt is exactly
+    /// reproducible (the engine re-draws by bumping the salt at degenerate
+    /// dead ends, deterministically). Ensemble drivers that want distinct
+    /// perturbation streams per scenario must derive this from the **job
+    /// index**, never from a worker id or thread id — a schedule-dependent
+    /// salt would make results depend on the worker count.
+    pub perturbation_salt: u64,
 }
 
 impl Default for SimplexOptions {
@@ -69,6 +77,7 @@ impl Default for SimplexOptions {
             max_iterations: 500_000,
             stall_threshold: 50,
             engine: SimplexEngine::default(),
+            perturbation_salt: 0,
         }
     }
 }

@@ -1,0 +1,222 @@
+//! # mapqn-par
+//!
+//! A hand-rolled scoped-thread work pool over [`std::thread`], sized for
+//! the workload shape of this workspace: **coarse, independent jobs** —
+//! each job is a whole `bound_all()` or a whole population sweep, tens of
+//! microseconds to seconds of work — fanned out across every core, with
+//! results assembled **by job index** so the output is deterministic and
+//! independent of the worker count and of scheduling order.
+//!
+//! ## Why not rayon
+//!
+//! The build environment has no network access to a crate registry, so the
+//! workspace vendors tiny API-compatible stand-ins for its external
+//! dependencies under `crates/compat/` (`rand`, `proptest`, `criterion`).
+//! rayon is different: its value is a work-*stealing* scheduler with
+//! per-thread deques, splittable parallel iterators and a global pool —
+//! machinery that matters when jobs are fine-grained and irregular, and
+//! that cannot be faithfully stubbed in an afternoon. The ensemble
+//! workloads here don't need any of it: jobs are few and coarse, so a
+//! shared atomic cursor over a slice *is* the optimal schedule (each idle
+//! worker grabs the next undone job; imbalance is bounded by one job). A
+//! ~100-line scoped pool keeps the offline build honest and the scheduling
+//! transparent, and [`std::thread::scope`] (stable since 1.63) makes it
+//! safe to borrow the job list and the caller's closure without `'static`
+//! gymnastics. If the workspace ever grows fine-grained parallelism
+//! (per-pivot or per-column), revisit this decision rather than stretching
+//! this pool past its design point.
+//!
+//! ## Determinism contract
+//!
+//! [`par_map`] returns exactly what the equivalent serial `map` returns —
+//! `results[i] = f(i, &items[i])` — as long as `f` itself is a pure
+//! function of `(i, items[i])`. Worker threads race only for *which* job
+//! they pull, never for where a result lands, so the assembly is
+//! order-independent by construction. Anything seeded per job must be
+//! seeded from the **job index** (not the worker id, which is
+//! schedule-dependent); the ensemble layer in `mapqn-core` derives its
+//! per-job RHS-perturbation salts this way.
+//!
+//! Panics in a job are propagated to the caller after all workers have
+//! stopped pulling new jobs (the scope joins every thread first), so a
+//! poisoned ensemble fails loudly instead of hanging.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads to use by default: the machine's available
+/// parallelism, or 1 when the runtime cannot report it (exotic platforms,
+/// restricted containers).
+#[must_use]
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A fixed-width work pool: `threads` scoped workers pulling jobs from a
+/// shared cursor. Construction is free — threads are spawned per
+/// [`WorkPool::map`] call and joined before it returns, so a pool can be
+/// kept in a config struct without holding OS resources.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkPool {
+    threads: usize,
+}
+
+impl Default for WorkPool {
+    fn default() -> Self {
+        Self::new(available_parallelism())
+    }
+}
+
+impl WorkPool {
+    /// Creates a pool that runs jobs on `threads` workers (clamped to at
+    /// least 1). `WorkPool::new(1)` degenerates to a serial loop on the
+    /// calling thread — no threads are spawned at all — which is the
+    /// reference behaviour the determinism tests compare against.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The number of worker threads this pool uses.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every item, in parallel across the pool's workers,
+    /// and returns the results in item order: `result[i] = f(i, &items[i])`.
+    ///
+    /// Jobs are claimed dynamically (shared atomic cursor), so long jobs
+    /// don't serialize behind a bad static partition; results land at their
+    /// job index, so the output is identical for every worker count.
+    ///
+    /// # Panics
+    /// Re-raises the panic of any job after the pool has quiesced.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        if self.threads == 1 || items.len() <= 1 {
+            return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let results: Vec<Mutex<Option<R>>> =
+            items.iter().map(|_| Mutex::new(None)).collect();
+        let workers = self.threads.min(items.len());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    let r = f(i, item);
+                    *results[i].lock().expect("result slot poisoned") = Some(r);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every job index below len was claimed exactly once")
+            })
+            .collect()
+    }
+}
+
+/// One-shot convenience over [`WorkPool::map`] with the default pool width
+/// (one worker per available core).
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    WorkPool::default().map(items, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn map_preserves_item_order() {
+        let items: Vec<usize> = (0..97).collect();
+        for threads in [1, 2, 3, 8] {
+            let out = WorkPool::new(threads).map(&items, |i, &x| {
+                assert_eq!(i, x);
+                x * x
+            });
+            let expected: Vec<usize> = items.iter().map(|&x| x * x).collect();
+            assert_eq!(out, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let items: Vec<usize> = (0..64).collect();
+        let counter = AtomicUsize::new(0);
+        let out = WorkPool::new(4).map(&items, |_, &x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), items.len());
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_serial() {
+        let pool = WorkPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.map(&[1, 2, 3], |_, &x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let pool = WorkPool::new(8);
+        let empty: Vec<i32> = Vec::new();
+        assert!(pool.map(&empty, |_, &x| x).is_empty());
+        assert_eq!(pool.map(&[41], |_, &x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn results_are_worker_count_independent_under_skew() {
+        // Heavily skewed job costs: the dynamic cursor must still assemble
+        // by index, not completion order.
+        let items: Vec<u64> = (0..24).map(|i| (i % 7) * 100).collect();
+        let serial = WorkPool::new(1).map(&items, |i, &cost| {
+            std::hint::black_box((0..cost).sum::<u64>()) + i as u64
+        });
+        let parallel = WorkPool::new(6).map(&items, |i, &cost| {
+            std::hint::black_box((0..cost).sum::<u64>()) + i as u64
+        });
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            WorkPool::new(2).map(&[0usize, 1, 2, 3], |_, &x| {
+                assert!(x != 2, "job 2 fails");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn available_parallelism_is_positive() {
+        assert!(available_parallelism() >= 1);
+    }
+}

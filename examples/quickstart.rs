@@ -52,7 +52,7 @@ fn main() {
 
     // 4. ... and bracket the same quantities with the paper's LP bounds,
     //    which stay tractable when the exact solution does not.
-    let solver = MarginalBoundSolver::new(&network).expect("bound solver");
+    let mut solver = MarginalBoundSolver::new(&network).expect("bound solver");
     println!(
         "\nLP bound problem size: {} variables, {} constraints",
         solver.num_variables(),

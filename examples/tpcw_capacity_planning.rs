@@ -20,40 +20,8 @@
 
 use mapqn::core::bounds::PopulationSweep;
 use mapqn::core::mva::mva_exact;
-use mapqn::core::templates::{tpcw_network, TpcwParameters};
-use mapqn::core::{ClosedNetwork, Service, Station};
-use mapqn::linalg::DMatrix;
+use mapqn::core::templates::{tpcw_network, tpcw_server_tier, TpcwParameters};
 use mapqn::sim::{simulate, CacheServerParameters, SimulationConfig};
-use mapqn::stochastic::{fit_map2, Map2FitSpec};
-
-/// The closed server-tier subnetwork: front server (bursty MAP service) and
-/// database. A front completion issues a database query with probability
-/// `p`; with `1 - p` the reply leaves the tier and — at a fixed
-/// multiprogramming level — is immediately replaced by the next admitted
-/// request, which re-enters the front server (the self-loop).
-fn server_tier(params: &TpcwParameters) -> ClosedNetwork {
-    let p = params.db_query_probability;
-    let routing = DMatrix::from_row_slice(2, 2, &[1.0 - p, p, 1.0, 0.0]);
-    let front = fit_map2(&Map2FitSpec::new(
-        params.front_mean,
-        params.front_scv,
-        params.front_acf_decay,
-    ))
-    .expect("feasible MAP(2) fit")
-    .map;
-    ClosedNetwork::new(
-        vec![
-            Station::queue("front-server", Service::map(front)),
-            Station::queue(
-                "database",
-                Service::exponential(1.0 / params.db_mean).expect("db rate"),
-            ),
-        ],
-        routing,
-        1,
-    )
-    .expect("server-tier network")
-}
 
 fn main() {
     let cache = CacheServerParameters::default();
@@ -118,7 +86,7 @@ fn main() {
         front_mean: cache.mean_service_time(),
         ..TpcwParameters::default()
     };
-    let tier = server_tier(&params);
+    let tier = tpcw_server_tier(&params).expect("server-tier network");
     let mut sweep = PopulationSweep::new(&tier).expect("server-tier sweep");
 
     println!();

@@ -26,7 +26,7 @@ fn bounds_bracket_exact_on_random_models_all_indices() {
         for &n in &[2usize, 5] {
             let network = model.network.with_population(n).unwrap();
             let exact = solve_exact(&network).unwrap();
-            let solver = MarginalBoundSolver::new(&network).unwrap();
+            let mut solver = MarginalBoundSolver::new(&network).unwrap();
             for k in 0..network.num_stations() {
                 let x = solver.bound(PerformanceIndex::Throughput(k)).unwrap();
                 assert!(x.contains(exact.throughput[k], 1e-5), "throughput station {k}");
@@ -71,7 +71,7 @@ proptest! {
         )
         .unwrap();
         let exact = solve_exact(&network).unwrap();
-        let solver = MarginalBoundSolver::new(&network).unwrap();
+        let mut solver = MarginalBoundSolver::new(&network).unwrap();
         let bounds = solver.response_time_bounds().unwrap();
         prop_assert!(bounds.lower <= bounds.upper + 1e-9);
         prop_assert!(

@@ -183,8 +183,8 @@ fn bound_intervals_match_between_engines() {
     // differing tolerances would shift the intervals even with identical
     // optima.
     let network = figure5_network(5, 4.0, 0.5).unwrap();
-    let revised_solver = MarginalBoundSolver::new(&network).unwrap();
-    let dense_solver = MarginalBoundSolver::with_options(
+    let mut revised_solver = MarginalBoundSolver::new(&network).unwrap();
+    let mut dense_solver = MarginalBoundSolver::with_options(
         &network,
         mapqn::core::bounds::BoundOptions {
             simplex: dense_options(),

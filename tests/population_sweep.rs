@@ -14,7 +14,7 @@
 //!   interval, exercised on a network whose station 0 has a self-loop and
 //!   whose visit ratios are non-unit.
 
-use mapqn::core::bounds::PopulationSweep;
+use mapqn::core::bounds::{EnsembleRunner, NetworkBounds, PopulationSweep, Scenario};
 use mapqn::core::random_models::{random_model, RandomModelSpec};
 use mapqn::core::templates::figure5_network;
 use mapqn::core::{solve_exact, MarginalBoundSolver, PerformanceIndex};
@@ -54,7 +54,7 @@ proptest! {
         let target_net = model.network.with_population(population + 1).unwrap();
 
         // Solve everything at the source population to obtain bases.
-        let source = MarginalBoundSolver::new(&source_net).unwrap();
+        let mut source = MarginalBoundSolver::new(&source_net).unwrap();
         source.bound_all().unwrap();
         let target = MarginalBoundSolver::new(&target_net).unwrap();
         let base = target.lp_problem();
@@ -127,6 +127,122 @@ proptest! {
     }
 }
 
+/// Every interval endpoint of two bound sets, bit-compared.
+fn assert_bounds_bitwise_equal(a: &NetworkBounds, b: &NetworkBounds, context: &str) {
+    let eq = |x: f64, y: f64, what: &str| {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{context}: {what} differs ({x} vs {y})"
+        );
+    };
+    for k in 0..a.throughput.len() {
+        for (ia, ib, what) in [
+            (&a.throughput[k], &b.throughput[k], "throughput"),
+            (&a.utilization[k], &b.utilization[k], "utilization"),
+            (&a.mean_queue_length[k], &b.mean_queue_length[k], "mql"),
+        ] {
+            eq(ia.lower, ib.lower, &format!("{what}[{k}].lower"));
+            eq(ia.upper, ib.upper, &format!("{what}[{k}].upper"));
+        }
+    }
+    eq(a.system_throughput.lower, b.system_throughput.lower, "X.lower");
+    eq(a.system_throughput.upper, b.system_throughput.upper, "X.upper");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 4,
+        max_shrink_iters: 0,
+        ..ProptestConfig::default()
+    })]
+
+    /// The same random-model batch through the serial path and through the
+    /// parallel ensemble: intervals must be identical (bitwise) and nothing
+    /// may fall back to the dense oracle.
+    ///
+    /// Two serial references are compared. Single-population scenarios are
+    /// checked against plain serial `bound_all()` — a one-population sweep
+    /// carries no cross-population seeds, so the ensemble must reproduce
+    /// the plain solver exactly under the job's documented options
+    /// ([`EnsembleRunner::scenario_options`]). Multi-population scenarios
+    /// are checked against a serial [`PopulationSweep`] replay of the same
+    /// job, plus a 1-worker ensemble run (the worker-count-determinism
+    /// regression from the PR's bugfix list).
+    #[test]
+    fn ensemble_matches_serial_bound_all_on_random_batches(
+        seed in 0u64..500,
+        population in 2usize..5,
+    ) {
+        let spec = RandomModelSpec {
+            num_map_queues: 2,
+            ..RandomModelSpec::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let models: Vec<_> = (0..3)
+            .map(|_| random_model(&spec, &mut rng).unwrap())
+            .collect();
+
+        // Batch A: one population per scenario (ensemble == plain solver).
+        let single: Vec<Scenario> = models
+            .iter()
+            .enumerate()
+            .map(|(i, m)| Scenario::new(format!("single{i}"), m.network.clone(), [population]))
+            .collect();
+        let runner = EnsembleRunner::new().with_threads(3);
+        let report = runner.run(&single).unwrap();
+        prop_assert_eq!(report.stats.dense_fallbacks, 0, "single-pop ensemble fell back");
+        for (job, model) in models.iter().enumerate() {
+            let net = model.network.with_population(population).unwrap();
+            let mut serial = MarginalBoundSolver::with_options(
+                &net,
+                runner.scenario_options(job),
+            )
+            .unwrap();
+            let serial_bounds = serial.bound_all().unwrap();
+            prop_assert_eq!(serial.stats().dense_fallbacks, 0);
+            assert_bounds_bitwise_equal(
+                &serial_bounds,
+                &report.results[job].bounds[0],
+                &format!("seed {seed} job {job}"),
+            );
+        }
+
+        // Batch B: population ranges; the ensemble must reproduce a serial
+        // sweep replay of each job, and a 1-worker run of the whole batch.
+        let ranged: Vec<Scenario> = models
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                Scenario::new(format!("range{i}"), m.network.clone(), 1..=population + 1)
+            })
+            .collect();
+        let ranged_report = runner.run(&ranged).unwrap();
+        prop_assert_eq!(ranged_report.stats.dense_fallbacks, 0, "ranged ensemble fell back");
+        let one_worker = EnsembleRunner::new().with_threads(1).run(&ranged).unwrap();
+        prop_assert_eq!(one_worker.stats, ranged_report.stats);
+        for (job, scenario) in ranged.iter().enumerate() {
+            let mut replay =
+                PopulationSweep::with_options(&scenario.network, runner.scenario_options(job))
+                    .unwrap();
+            for (j, &n) in scenario.populations.iter().enumerate() {
+                let serial_bounds = replay.bounds_at(n).unwrap();
+                assert_bounds_bitwise_equal(
+                    &serial_bounds,
+                    &ranged_report.results[job].bounds[j],
+                    &format!("seed {seed} ranged job {job} N={n}"),
+                );
+                assert_bounds_bitwise_equal(
+                    &one_worker.results[job].bounds[j],
+                    &ranged_report.results[job].bounds[j],
+                    &format!("seed {seed} worker-count job {job} N={n}"),
+                );
+            }
+            prop_assert_eq!(replay.stats().dense_fallbacks, 0);
+        }
+    }
+}
+
 /// Sweeping the SCV=16 case study upwards: intervals must match independent
 /// solves, the throughput upper bound must be non-decreasing in the
 /// population, and nothing may fall back to the dense oracle.
@@ -192,7 +308,7 @@ fn bound_all_solves_the_dedicated_system_throughput_objective() {
     assert!((visits[1] - 0.7).abs() < 1e-9, "premise: non-unit visit ratios");
 
     let exact = solve_exact(&network).unwrap();
-    let solver = MarginalBoundSolver::new(&network).unwrap();
+    let mut solver = MarginalBoundSolver::new(&network).unwrap();
     let all = solver.bound_all().unwrap();
     let dedicated = solver.bound(PerformanceIndex::SystemThroughput).unwrap();
 
