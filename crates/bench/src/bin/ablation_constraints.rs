@@ -1,7 +1,7 @@
 //! Ablation study: which marginal-balance constraint families make the
 //! bounds tight?
 //!
-//! DESIGN.md calls out a constraint-family ablation as an extension beyond
+//! docs/ARCHITECTURE.md calls out a constraint-family ablation as an extension beyond
 //! the paper: starting from the full LP (cut balance + phase balance +
 //! structural inequalities, on top of the always-present normalization,
 //! population and consistency constraints), each family is dropped in turn

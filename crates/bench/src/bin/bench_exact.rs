@@ -1,0 +1,366 @@
+//! Exact-engine harness: measures the sparse parallel CTMC engine against
+//! the dense GTH ceiling on the paper's validation models and records the
+//! results in `BENCH_exact.json` so future PRs have a perf trajectory.
+//!
+//! Three families of gates travel together:
+//!
+//! * **Agreement** — on every model small enough for dense GTH (the
+//!   "overlap" models) the sparse engine's stationary metrics must match the
+//!   dense ones within `1e-8`;
+//! * **Scale** — the sparse engine must solve a validation model at least
+//!   10× larger (in states) than the dense ceiling it is replacing, on both
+//!   the figure-5 case-study family and the TPC-W model;
+//! * **Determinism** — the sparse stationary vector must be bitwise
+//!   identical at 1 and N workers (same contract as the ensemble layer).
+//!
+//! Run with `cargo run --release -p mapqn-bench --bin bench_exact`.
+//! `MAPQN_SCALE=full` enlarges the experiment.
+
+use mapqn_bench::{Scale, Table};
+use mapqn_core::exact::{solve_exact_with, ExactOptions};
+use mapqn_core::metrics::NetworkMetrics;
+use mapqn_core::statespace::build_state_space;
+use mapqn_core::templates::{figure5_network, tpcw_network, TpcwParameters};
+use mapqn_core::ClosedNetwork;
+use mapqn_markov::{
+    stationary_dense_gth, stationary_sparse, SparseSteadyOptions, SteadyStateOptions,
+};
+use std::time::Instant;
+
+/// Exact options forcing the dense GTH path.
+fn dense_exact_options() -> ExactOptions {
+    ExactOptions {
+        steady_state: SteadyStateOptions {
+            dense_threshold: usize::MAX,
+            ..SteadyStateOptions::default()
+        },
+        ..ExactOptions::default()
+    }
+}
+
+/// Exact options forcing the sparse engine at any size.
+fn sparse_exact_options() -> ExactOptions {
+    ExactOptions {
+        steady_state: SteadyStateOptions {
+            dense_threshold: 0,
+            ..SteadyStateOptions::default()
+        },
+        ..ExactOptions::default()
+    }
+}
+
+/// Worst per-station difference across the headline metric vectors of two
+/// exact solutions.
+fn max_metric_diff(a: &NetworkMetrics, b: &NetworkMetrics) -> f64 {
+    let mut worst = (a.system_throughput - b.system_throughput).abs();
+    for k in 0..a.throughput.len() {
+        worst = worst
+            .max((a.throughput[k] - b.throughput[k]).abs())
+            .max((a.utilization[k] - b.utilization[k]).abs())
+            .max((a.mean_queue_length[k] - b.mean_queue_length[k]).abs());
+    }
+    worst
+}
+
+struct OverlapResult {
+    name: String,
+    states: usize,
+    dense_ms: f64,
+    sparse_ms: f64,
+    speedup: f64,
+    pi_diff: f64,
+    metric_diff: f64,
+}
+
+/// Solves one overlap model (small enough for GTH) both ways and compares.
+fn run_overlap(name: &str, network: &ClosedNetwork) -> OverlapResult {
+    let space = build_state_space(network, 10_000_000).expect("state space");
+    let states = space.len();
+
+    let start = Instant::now();
+    let dense_pi = stationary_dense_gth(space.ctmc()).expect("dense GTH");
+    let dense_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let start = Instant::now();
+    let sparse = stationary_sparse(space.ctmc(), &SparseSteadyOptions::default())
+        .expect("sparse engine");
+    let sparse_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let pi_diff = dense_pi.max_abs_diff(&sparse.pi).expect("same length");
+    let dense_metrics = solve_exact_with(network, &dense_exact_options()).expect("dense metrics");
+    let sparse_metrics =
+        solve_exact_with(network, &sparse_exact_options()).expect("sparse metrics");
+    let metric_diff = max_metric_diff(&dense_metrics, &sparse_metrics);
+
+    OverlapResult {
+        name: name.to_string(),
+        states,
+        dense_ms,
+        sparse_ms,
+        speedup: dense_ms / sparse_ms,
+        pi_diff,
+        metric_diff,
+    }
+}
+
+struct ScaleResult {
+    name: String,
+    states: usize,
+    transitions: usize,
+    build_ms: f64,
+    solve_ms: f64,
+    states_per_sec: f64,
+    sweeps: usize,
+    residual: f64,
+    engine: String,
+    deterministic: bool,
+}
+
+/// Solves one at-scale model with the sparse engine and checks worker-count
+/// determinism (1 worker vs 4 workers, bitwise).
+fn run_scale(name: &str, network: &ClosedNetwork) -> ScaleResult {
+    let start = Instant::now();
+    let space = build_state_space(network, 10_000_000).expect("state space");
+    let build_ms = start.elapsed().as_secs_f64() * 1e3;
+    let states = space.len();
+    let transitions = space.ctmc().generator().nnz();
+
+    let options = SparseSteadyOptions::default();
+    let start = Instant::now();
+    let report = stationary_sparse(space.ctmc(), &options).expect("sparse solve");
+    let solve_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    // parallel_threshold 0 forces the threaded path even when the model is
+    // below the engine's spawn-amortization cutoff, so the bitwise gate
+    // exercises real worker threads.
+    let serial = stationary_sparse(
+        space.ctmc(),
+        &SparseSteadyOptions {
+            workers: 1,
+            parallel_threshold: 0,
+            ..options
+        },
+    )
+    .expect("serial solve");
+    let parallel = stationary_sparse(
+        space.ctmc(),
+        &SparseSteadyOptions {
+            workers: 4,
+            parallel_threshold: 0,
+            ..options
+        },
+    )
+    .expect("parallel solve");
+    let deterministic = serial.pi.as_slice() == parallel.pi.as_slice();
+
+    ScaleResult {
+        name: name.to_string(),
+        states,
+        transitions,
+        build_ms,
+        solve_ms,
+        states_per_sec: states as f64 / (solve_ms / 1e3),
+        sweeps: report.sweeps,
+        residual: report.residual,
+        engine: format!("{:?}", report.used),
+        deterministic,
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+
+    println!("Exact-engine benchmark: sparse preconditioned CTMC solver vs the dense GTH ceiling\n");
+
+    // The dense ceiling: the largest figure-5 case-study instance we are
+    // willing to put through O(n^3) GTH. Populations are chosen so the state
+    // count lands just under it (states = (N+1)(N+2) for this 3-queue,
+    // MAP(2) model).
+    let dense_ceiling_states = scale.pick(2_000, 4_200);
+
+    // Overlap models: every validation family at sizes both engines handle.
+    let mut overlaps: Vec<OverlapResult> = Vec::new();
+    {
+        let mut n = 1usize;
+        while (n + 2) * (n + 3) <= dense_ceiling_states {
+            n += 1;
+        }
+        let net = figure5_network(n, 16.0, 0.5).expect("figure5");
+        overlaps.push(run_overlap(&format!("fig5_scv16_N{n}"), &net));
+        let small = figure5_network(8, 4.0, 0.5).expect("figure5 small");
+        overlaps.push(run_overlap("fig5_scv4_N8", &small));
+    }
+    {
+        let browsers = scale.pick(40, 60);
+        let params = TpcwParameters {
+            browsers,
+            ..TpcwParameters::default()
+        };
+        let net = tpcw_network(&params).expect("tpcw");
+        overlaps.push(run_overlap(&format!("tpcw_B{browsers}"), &net));
+    }
+
+    // At-scale models: >= 10x the dense ceiling in states.
+    let mut scales: Vec<ScaleResult> = Vec::new();
+    {
+        let n = scale.pick(150, 450);
+        let net = figure5_network(n, 16.0, 0.5).expect("figure5 large");
+        scales.push(run_scale(&format!("fig5_scv16_N{n}"), &net));
+    }
+    {
+        let browsers = scale.pick(150, 384);
+        let params = TpcwParameters {
+            browsers,
+            ..TpcwParameters::default()
+        };
+        let net = tpcw_network(&params).expect("tpcw large");
+        scales.push(run_scale(&format!("tpcw_B{browsers}"), &net));
+    }
+
+    let mut table = Table::new(&[
+        "overlap model",
+        "states",
+        "dense ms",
+        "sparse ms",
+        "speedup",
+        "pi diff",
+        "metric diff",
+    ]);
+    for o in &overlaps {
+        table.add_row(vec![
+            o.name.clone(),
+            o.states.to_string(),
+            format!("{:.1}", o.dense_ms),
+            format!("{:.1}", o.sparse_ms),
+            format!("{:.1}x", o.speedup),
+            format!("{:.2e}", o.pi_diff),
+            format!("{:.2e}", o.metric_diff),
+        ]);
+    }
+    table.print();
+    println!();
+
+    let mut table = Table::new(&[
+        "scale model",
+        "states",
+        "transitions",
+        "build ms",
+        "solve ms",
+        "states/s",
+        "sweeps",
+        "residual",
+        "engine",
+        "det.",
+    ]);
+    for s in &scales {
+        table.add_row(vec![
+            s.name.clone(),
+            s.states.to_string(),
+            s.transitions.to_string(),
+            format!("{:.1}", s.build_ms),
+            format!("{:.1}", s.solve_ms),
+            format!("{:.0}", s.states_per_sec),
+            s.sweeps.to_string(),
+            format!("{:.2e}", s.residual),
+            s.engine.clone(),
+            s.deterministic.to_string(),
+        ]);
+    }
+    table.print();
+
+    let worst_pi_diff = overlaps.iter().map(|o| o.pi_diff).fold(0.0f64, f64::max);
+    let worst_metric_diff = overlaps
+        .iter()
+        .map(|o| o.metric_diff)
+        .fold(0.0f64, f64::max);
+    let ceiling_states = overlaps.iter().map(|o| o.states).max().unwrap_or(0);
+    let min_scale_states = scales.iter().map(|s| s.states).min().unwrap_or(0);
+    let scale_ratio = min_scale_states as f64 / ceiling_states as f64;
+    let ceiling_speedup = overlaps
+        .iter()
+        .max_by_key(|o| o.states)
+        .map_or(0.0, |o| o.speedup);
+    let all_deterministic = scales.iter().all(|s| s.deterministic);
+
+    println!(
+        "\ndense ceiling: {ceiling_states} states; smallest at-scale model: {min_scale_states} states ({scale_ratio:.1}x the ceiling, gate >= 10x)"
+    );
+    println!(
+        "worst dense-vs-sparse agreement: pi {worst_pi_diff:.2e}, metrics {worst_metric_diff:.2e} (gate 1e-8)"
+    );
+    println!("sparse-vs-dense speedup at the ceiling: {ceiling_speedup:.1}x (gate >= 2x)");
+    println!("worker-count determinism (1 vs 4 workers, bitwise): {all_deterministic}");
+
+    // Emit BENCH_exact.json (hand-rolled JSON; no serde in the offline set).
+    let mut json = String::from("{\n");
+    json.push_str("  \"benchmark\": \"sparse_exact_ctmc_engine\",\n");
+    json.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
+    json.push_str("  \"overlap_models\": [\n");
+    for (i, o) in overlaps.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"states\": {}, \"dense_ms\": {:.3}, \"sparse_ms\": {:.3}, \"speedup\": {:.3}, \"pi_diff\": {:.3e}, \"metric_diff\": {:.3e}}}{}\n",
+            o.name,
+            o.states,
+            o.dense_ms,
+            o.sparse_ms,
+            o.speedup,
+            o.pi_diff,
+            o.metric_diff,
+            if i + 1 < overlaps.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"scale_models\": [\n");
+    for (i, s) in scales.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"states\": {}, \"transitions\": {}, \"build_ms\": {:.3}, \"solve_ms\": {:.3}, \"states_per_sec\": {:.0}, \"sweeps\": {}, \"residual\": {:.3e}, \"engine\": \"{}\", \"deterministic\": {}}}{}\n",
+            s.name,
+            s.states,
+            s.transitions,
+            s.build_ms,
+            s.solve_ms,
+            s.states_per_sec,
+            s.sweeps,
+            s.residual,
+            s.engine,
+            s.deterministic,
+            if i + 1 < scales.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"dense_ceiling_states\": {ceiling_states},\n  \"min_scale_states\": {min_scale_states},\n  \"scale_ratio\": {scale_ratio:.2},\n  \"worst_pi_diff\": {worst_pi_diff:.3e},\n  \"worst_metric_diff\": {worst_metric_diff:.3e},\n  \"ceiling_speedup\": {ceiling_speedup:.3},\n  \"deterministic\": {all_deterministic}\n"
+    ));
+    json.push_str("}\n");
+    std::fs::write("BENCH_exact.json", &json).expect("write BENCH_exact.json");
+    println!("\nwrote BENCH_exact.json");
+
+    // Acceptance gates (same philosophy as bench_lp / bench_sweep:
+    // correctness hard-fails at the acceptance threshold, timing hard-fails
+    // only below a conservative floor).
+    if worst_pi_diff > 1e-8 || worst_metric_diff > 1e-8 {
+        eprintln!(
+            "FAIL: dense-vs-sparse disagreement (pi {worst_pi_diff:.2e}, metrics {worst_metric_diff:.2e}, gate 1e-8)"
+        );
+        std::process::exit(1);
+    }
+    if scale_ratio < 10.0 {
+        eprintln!(
+            "FAIL: at-scale models only {scale_ratio:.1}x the dense ceiling (gate >= 10x)"
+        );
+        std::process::exit(1);
+    }
+    if !all_deterministic {
+        eprintln!("FAIL: sparse engine not bitwise worker-count invariant");
+        std::process::exit(1);
+    }
+    if ceiling_speedup < 2.0 {
+        eprintln!(
+            "FAIL: sparse engine only {ceiling_speedup:.1}x the dense path at the ceiling (gate >= 2x)"
+        );
+        std::process::exit(1);
+    }
+    if ceiling_speedup < 5.0 {
+        eprintln!("WARN: ceiling speedup {ceiling_speedup:.1}x below the expected ~10x+ (noisy runner?)");
+    }
+}

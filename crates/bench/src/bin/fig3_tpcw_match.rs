@@ -7,7 +7,7 @@
 //! and compares predicted response times and utilizations against the
 //! measurements for 128..512 emulated browsers.
 //!
-//! Reproduction methodology (see DESIGN.md, substitution table):
+//! Reproduction methodology (see docs/ARCHITECTURE.md, substitution policy):
 //!
 //! * the **"experiment"** is the discrete-event simulation of the TPC-W
 //!   model with the front server driven by the cache/memory-pressure

@@ -15,6 +15,13 @@
 //! | Figure 8 (case-study bounds) | `fig8_case_study` | `fig8_case_study` |
 //! | Ablation (constraint families) | `ablation_constraints` | `ablation_constraints` |
 //!
+//! Four CI-gated perf harnesses record the workspace's speed trajectory in
+//! `BENCH_*.json` files (each hard-fails on its correctness gates):
+//! `bench_lp` (revised vs dense simplex), `bench_sweep` (dual-warm
+//! population sweeps vs cold), `bench_ensemble` (parallel scenario
+//! ensembles vs serial) and `bench_exact` (sparse CTMC engine vs the dense
+//! GTH ceiling).
+//!
 //! All binaries accept the `MAPQN_SCALE` environment variable:
 //! `quick` (default, finishes in seconds/minutes on a laptop) or `full`
 //! (closer to the paper's original experiment sizes; hours of compute).

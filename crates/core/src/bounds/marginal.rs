@@ -43,7 +43,7 @@
 //!
 //! The solver only supports networks of single-server queues: delay stations
 //! would require occupancy-weighted marginal terms (a straightforward but
-//! larger extension documented in DESIGN.md).
+//! larger extension noted in docs/ARCHITECTURE.md).
 
 use super::{BoundInterval, PerformanceIndex};
 use crate::network::ClosedNetwork;
@@ -274,7 +274,7 @@ struct SolverContext {
     warm: Option<WarmState>,
     /// Optimal bases of the objectives solved by the last
     /// [`MarginalBoundSolver::bound_all`]-style call, in canonical order
-    /// (see [`MarginalBoundSolver::canonical_indices`]); the raw material a
+    /// (see `MarginalBoundSolver::canonical_indices`); the raw material a
     /// population sweep translates into the next population's dual seeds.
     solved_bases: Vec<Basis>,
     /// Per-slot engine path of the last full solve, aligned with
@@ -343,6 +343,30 @@ pub struct SolverStats {
 /// [`SimplexEngine::DenseTableau`] through
 /// [`BoundOptions::simplex`] reproduces the original cold dense-tableau
 /// behaviour, which is kept as a correctness oracle.
+///
+/// The polynomial-size LP is the whole point: bounds stay tractable on
+/// models whose exact state space explodes. Solve methods take `&mut self`
+/// (warm-start state is owned, making the solver `Send` for the ensemble
+/// layer):
+///
+/// ```
+/// use mapqn_core::templates::figure5_network;
+/// use mapqn_core::{MarginalBoundSolver, PerformanceIndex};
+///
+/// let network = figure5_network(20, 16.0, 0.5).unwrap(); // SCV=16 case study
+/// let mut solver = MarginalBoundSolver::new(&network).unwrap();
+/// // Polynomially many marginal variables, not the combinatorial CTMC.
+/// assert!(solver.num_variables() < 2_000);
+///
+/// let throughput = solver.bound(PerformanceIndex::SystemThroughput).unwrap();
+/// assert!(throughput.lower > 0.0 && throughput.lower <= throughput.upper);
+///
+/// // bound_all() solves every standard index, grouped so consecutive
+/// // objectives warm start off each other's optimal bases.
+/// let all = solver.bound_all().unwrap();
+/// assert_eq!(all.mean_queue_length.len(), 3);
+/// assert_eq!(solver.stats().dense_fallbacks, 0);
+/// ```
 pub struct MarginalBoundSolver {
     network: ClosedNetwork,
     options: BoundOptions,
@@ -620,7 +644,7 @@ impl MarginalBoundSolver {
     /// [`MarginalBoundSolver::bound_all`] with optional cross-population
     /// warm starts: `seeds[slot]` is tried as a **dual-simplex** starting
     /// basis for the canonical slot (all minimizations of
-    /// [`MarginalBoundSolver::canonical_indices`] at slots `0..len`, then
+    /// `MarginalBoundSolver::canonical_indices` at slots `0..len`, then
     /// all maximizations at `len..2*len`); pass an empty slice (or `None`
     /// entries) to leave slots unseeded. Seeds are typically produced by
     /// [`MarginalBoundSolver::translate_solved_bases_to`] on the same
@@ -957,7 +981,7 @@ impl MarginalBoundSolver {
 
     /// The optimal bases recorded by the last
     /// [`MarginalBoundSolver::bound_all`]-style call, in canonical slot
-    /// order (minimizations of [`MarginalBoundSolver::canonical_indices`]
+    /// order (minimizations of `MarginalBoundSolver::canonical_indices`
     /// at slots `0..len`, then maximizations). Empty before the first such
     /// call.
     #[must_use]
@@ -980,9 +1004,9 @@ impl MarginalBoundSolver {
     /// *whole* vertex, not just its structural part:
     ///
     /// * structural columns keep their marginal-term identity
-    ///   (`p_k(n, h)` / `b_{j,k}(n, h)`) via [`VariableLayout::decode`];
+    ///   (`p_k(n, h)` / `b_{j,k}(n, h)`) via `VariableLayout::decode`;
     /// * slack and artificial columns keep their *row* identity via
-    ///   [`RowKey`] — the slack of "cut balance of station 2 at level 5"
+    ///   `RowKey` — the slack of "cut balance of station 2 at level 5"
     ///   maps to the slack of the same row in the target;
     /// * target rows with no counterpart in this solver (the levels the
     ///   population grew by) are covered by their own slack or artificial,

@@ -4,9 +4,15 @@
 //! enumerate the underlying CTMC, solve for its stationary distribution and
 //! read the performance indexes off the state probabilities. The cost grows
 //! combinatorially with the population and the number of stations — the very
-//! limitation the LP bound methodology removes — so the exact solver is only
-//! practical for the small validation models (three queues, populations up to
-//! a few hundred).
+//! limitation the LP bound methodology removes — but the reachable regime is
+//! set by the steady-state engine: the generator is streamed directly into
+//! CSR by [`build_state_space`] and solved by `mapqn-markov`'s dense GTH
+//! elimination below a few thousand states or by its sparse preconditioned
+//! engine (row-block-parallel Gauss–Seidel / Jacobi iterations with a
+//! `‖πQ‖_∞` stopping rule) up to the `10^6`–`10^7`-state range, so exact
+//! references now cover the same populations the LP bounds and sweeps are
+//! run at (e.g. the SCV=16 case study at `N = 60+`, or the TPC-W model at
+//! its full 384-browser population).
 
 use crate::metrics::NetworkMetrics;
 use crate::network::{ClosedNetwork, StationKind};
@@ -17,22 +23,42 @@ use mapqn_markov::{stationary_auto, SteadyStateOptions};
 /// Options for the exact solver.
 #[derive(Debug, Clone, Copy)]
 pub struct ExactOptions {
-    /// Maximum number of CTMC states to enumerate before giving up.
+    /// Maximum number of CTMC states to enumerate before giving up. The
+    /// default admits the `10^6`–`10^7`-state chains the sparse engine can
+    /// solve; memory is roughly 150 bytes per state plus 20 bytes per
+    /// transition at that scale.
     pub max_states: usize,
-    /// Steady-state solver options (tolerances, dense/iterative threshold).
+    /// Steady-state solver options (tolerances, dense/sparse threshold,
+    /// preconditioner and worker count of the sparse engine).
     pub steady_state: SteadyStateOptions,
 }
 
 impl Default for ExactOptions {
     fn default() -> Self {
         Self {
-            max_states: 2_000_000,
+            max_states: 10_000_000,
             steady_state: SteadyStateOptions::default(),
         }
     }
 }
 
 /// Solves the network exactly with default options.
+///
+/// The exact solution is the validation reference for every other technique
+/// in the workspace — here checking that the LP bounds really bracket it:
+///
+/// ```
+/// use mapqn_core::templates::figure5_network;
+/// use mapqn_core::{solve_exact, MarginalBoundSolver};
+///
+/// // The paper's three-queue example (SCV = 4, geometric ACF decay 0.5).
+/// let network = figure5_network(8, 4.0, 0.5).unwrap();
+/// let exact = solve_exact(&network).unwrap();
+///
+/// let bounds = MarginalBoundSolver::new(&network).unwrap().bound_all().unwrap();
+/// assert!(bounds.system_throughput.contains(exact.system_throughput, 1e-6));
+/// assert!((exact.total_jobs() - 8.0).abs() < 1e-8); // jobs are conserved
+/// ```
 ///
 /// # Errors
 /// Propagates state-space and steady-state solver failures.

@@ -61,6 +61,33 @@ impl Station {
 /// A closed, single-class queueing network: `population` statistically
 /// identical jobs circulate among the stations according to the routing
 /// matrix.
+///
+/// The quickstart shape — a CPU queue feeding a bursty MAP disk in a closed
+/// tandem — looks like this:
+///
+/// ```
+/// use mapqn_core::{ClosedNetwork, Service, Station};
+/// use mapqn_linalg::DMatrix;
+/// use mapqn_stochastic::{fit_map2, Map2FitSpec};
+///
+/// // Disk service: mean 1.0, SCV 4 and geometrically decaying
+/// // autocorrelation — consecutive slow requests come in runs.
+/// let disk = fit_map2(&Map2FitSpec::new(1.0, 4.0, 0.5)).unwrap().map;
+/// let network = ClosedNetwork::new(
+///     vec![
+///         Station::queue("cpu", Service::exponential(1.5).unwrap()),
+///         Station::queue("disk", Service::map(disk)),
+///     ],
+///     DMatrix::from_row_slice(2, 2, &[0.0, 1.0, 1.0, 0.0]),
+///     8, // jobs in the closed loop
+/// )
+/// .unwrap();
+/// assert_eq!(network.num_stations(), 2);
+/// assert_eq!(network.population(), 8);
+/// // The disk is the bottleneck: higher service demand per cycle.
+/// let demands = network.service_demands().unwrap();
+/// assert!(demands[1] > demands[0]);
+/// ```
 #[derive(Debug, Clone)]
 pub struct ClosedNetwork {
     stations: Vec<Station>,

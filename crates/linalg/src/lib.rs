@@ -13,8 +13,11 @@
 //! * Kronecker products and sums (used when composing independent MAP phase
 //!   processes),
 //! * sparse CSR matrices with matrix-vector products for large
-//!   continuous-time Markov chain generators ([`sparse::CsrMatrix`]) and
-//!   their column-oriented CSC dual used by the revised simplex engine in
+//!   continuous-time Markov chain generators ([`sparse::CsrMatrix`]), a
+//!   streaming row-by-row assembler for building them without a coordinate
+//!   intermediate ([`sparse::CsrAssembler`]), row-block kernels for
+//!   parallel drivers ([`sparse::CsrMatrix::matvec_rows_into`]), and the
+//!   column-oriented CSC dual used by the revised simplex engine in
 //!   `mapqn-lp` ([`csc::CscMatrix`]),
 //! * simple iterative kernels (power iteration, Gauss–Seidel sweeps) used by
 //!   the steady-state solvers in `mapqn-markov`.
@@ -25,8 +28,8 @@
 //! every module plus property tests at the workspace level).
 //!
 //! All numeric code is `f64`; the problems solved by the workspace (CTMCs
-//! with a few hundred thousand states, LPs with a few thousand variables) are
-//! comfortably within double precision.
+//! up to the `10^6`–`10^7`-state regime of the sparse exact engine, LPs with
+//! a few thousand variables) are comfortably within double precision.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -43,7 +46,7 @@ pub use csc::CscMatrix;
 pub use dense::DMatrix;
 pub use kron::{kron, kron_sum};
 pub use lu::Lu;
-pub use sparse::CsrMatrix;
+pub use sparse::{CsrAssembler, CsrMatrix};
 pub use vector::DVector;
 
 /// Numerical tolerance used throughout the workspace when comparing floating

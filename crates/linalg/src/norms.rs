@@ -1,7 +1,7 @@
 //! Norms, residuals and simple iterative kernels shared by the solvers.
 //!
-//! These free functions sit on top of [`DMatrix`](crate::DMatrix),
-//! [`CsrMatrix`](crate::CsrMatrix) and [`DVector`](crate::DVector) and are
+//! These free functions sit on top of [`DMatrix`],
+//! [`CsrMatrix`] and [`DVector`] and are
 //! used by the steady-state solvers of `mapqn-markov` and by the accuracy
 //! checks in the test-suites.
 

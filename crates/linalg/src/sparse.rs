@@ -159,6 +159,56 @@ impl CsrMatrix {
         self.values.len()
     }
 
+    /// The row pointer array (`rows + 1` entries): row `r` occupies positions
+    /// `row_ptr()[r]..row_ptr()[r + 1]` of [`CsrMatrix::col_indices`] and
+    /// [`CsrMatrix::values`]. Exposed so that solvers can write row-block
+    /// kernels (parallel matvec, Gauss–Seidel sweeps) without per-entry
+    /// iterator overhead.
+    #[must_use]
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Column indices of the stored entries, grouped by row and sorted within
+    /// each row (see [`CsrMatrix::row_ptr`]).
+    #[must_use]
+    pub fn col_indices(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// Stored values, aligned with [`CsrMatrix::col_indices`].
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Computes `out[i] = (A x)[start_row + i]` for a contiguous block of
+    /// rows — the serial kernel that row-block-parallel drivers (one disjoint
+    /// output block per worker) are built from. The block length is
+    /// `out.len()`.
+    ///
+    /// # Panics
+    /// Panics when the block extends past the last row or `x` is shorter
+    /// than the column count.
+    pub fn matvec_rows_into(&self, start_row: usize, x: &[f64], out: &mut [f64]) {
+        assert!(
+            start_row + out.len() <= self.rows,
+            "row block {}..{} out of range for {} rows",
+            start_row,
+            start_row + out.len(),
+            self.rows
+        );
+        assert!(x.len() >= self.cols, "input vector too short");
+        for (i, yr) in out.iter_mut().enumerate() {
+            let r = start_row + i;
+            let mut s = 0.0;
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                s += self.values[k] * x[self.col_idx[k]];
+            }
+            *yr = s;
+        }
+    }
+
     /// Iterator over the stored entries of row `r` as `(col, value)` pairs.
     ///
     /// # Panics
@@ -291,6 +341,104 @@ impl CsrMatrix {
     }
 }
 
+/// Streaming row-by-row CSR assembler.
+///
+/// [`CsrMatrix::from_triplets`] needs the full coordinate list in memory
+/// before it can bucket entries by row — for a CTMC generator with `10^7`
+/// states and `~10` transitions each that intermediate costs more than the
+/// final matrix itself. When the producer emits entries **one row at a
+/// time** (as the breadth-first state-space exploration in `mapqn-markov`
+/// does), this assembler writes them straight into the final CSR arrays:
+/// push each row once, in order, then [`CsrAssembler::finish`].
+///
+/// Entries within a row may arrive in any column order and may repeat
+/// (duplicates are summed); column indices may reference rows that have not
+/// been pushed yet, since the final dimensions are only fixed at `finish`.
+#[derive(Debug, Default)]
+pub struct CsrAssembler {
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrAssembler {
+    /// Creates an empty assembler.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            row_ptr: vec![0],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Creates an assembler with pre-reserved capacity for `rows` rows and
+    /// `nnz` stored entries.
+    #[must_use]
+    pub fn with_capacity(rows: usize, nnz: usize) -> Self {
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        row_ptr.push(0);
+        Self {
+            row_ptr,
+            col_idx: Vec::with_capacity(nnz),
+            values: Vec::with_capacity(nnz),
+        }
+    }
+
+    /// Number of rows pushed so far.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Number of stored entries so far.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Appends the next row. `entries` is sorted and duplicate-merged in
+    /// place (it is taken `&mut` precisely so the caller's scratch buffer can
+    /// be reused across rows without reallocating).
+    pub fn push_row(&mut self, entries: &mut [(usize, f64)]) {
+        entries.sort_unstable_by_key(|&(c, _)| c);
+        let mut i = 0;
+        while i < entries.len() {
+            let col = entries[i].0;
+            let mut val = entries[i].1;
+            let mut j = i + 1;
+            while j < entries.len() && entries[j].0 == col {
+                val += entries[j].1;
+                j += 1;
+            }
+            self.col_idx.push(col);
+            self.values.push(val);
+            i = j;
+        }
+        self.row_ptr.push(self.col_idx.len());
+    }
+
+    /// Finalizes the matrix with the pushed rows and `cols` columns.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::InvalidArgument`] when any stored column index
+    /// is `>= cols`.
+    pub fn finish(self, cols: usize) -> Result<CsrMatrix> {
+        if self.col_idx.iter().any(|&c| c >= cols) {
+            return Err(LinalgError::InvalidArgument(
+                "assembled column index out of bounds",
+            ));
+        }
+        Ok(CsrMatrix {
+            rows: self.row_ptr.len() - 1,
+            cols,
+            row_ptr: self.row_ptr,
+            col_idx: self.col_idx,
+            values: self.values,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -381,6 +529,63 @@ mod tests {
         let m = CsrMatrix::from_triplets(1, 4, &[(0, 3, 3.0), (0, 1, 1.0), (0, 2, 2.0)]).unwrap();
         let cols: Vec<usize> = m.row_iter(0).map(|(c, _)| c).collect();
         assert_eq!(cols, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn assembler_matches_from_triplets() {
+        let triplets = [
+            (0usize, 2usize, 2.0),
+            (0, 0, 1.0),
+            (0, 2, 0.5), // duplicate, must be summed
+            (2, 1, 3.0),
+        ];
+        let reference = CsrMatrix::from_triplets(3, 3, &triplets).unwrap();
+
+        let mut asm = CsrAssembler::with_capacity(3, 4);
+        let mut row = vec![(2usize, 2.0), (0, 1.0), (2, 0.5)];
+        asm.push_row(&mut row);
+        row.clear();
+        asm.push_row(&mut row); // empty middle row
+        row.push((1, 3.0));
+        asm.push_row(&mut row);
+        assert_eq!(asm.rows(), 3);
+        assert_eq!(asm.nnz(), 3);
+        let m = asm.finish(3).unwrap();
+        assert_eq!(m.to_dense(), reference.to_dense());
+    }
+
+    #[test]
+    fn assembler_rejects_out_of_range_columns() {
+        let mut asm = CsrAssembler::new();
+        let mut row = vec![(5usize, 1.0)];
+        asm.push_row(&mut row);
+        assert!(asm.finish(3).is_err());
+    }
+
+    #[test]
+    fn matvec_rows_into_matches_full_matvec() {
+        let m = CsrMatrix::from_triplets(
+            4,
+            3,
+            &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (3, 0, -1.0), (3, 2, 4.0)],
+        )
+        .unwrap();
+        let x = DVector::from_vec(vec![1.0, 2.0, 3.0]);
+        let full = m.matvec(&x).unwrap();
+        let mut out = vec![0.0; 2];
+        m.matvec_rows_into(1, x.as_slice(), &mut out);
+        assert_eq!(out, &full.as_slice()[1..3]);
+        let mut all = vec![0.0; 4];
+        m.matvec_rows_into(0, x.as_slice(), &mut all);
+        assert_eq!(all, full.as_slice());
+    }
+
+    #[test]
+    fn raw_accessors_describe_the_layout() {
+        let m = sample();
+        assert_eq!(m.row_ptr(), &[0, 2, 3]);
+        assert_eq!(m.col_indices(), &[0, 2, 1]);
+        assert_eq!(m.values(), &[1.0, 2.0, 3.0]);
     }
 
     #[test]

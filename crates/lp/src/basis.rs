@@ -2,7 +2,7 @@
 //!
 //! The revised simplex never forms `B^{-1}` explicitly. This module keeps an
 //! LU factorization of the basis matrix `B` (computed with the dense
-//! [`Lu`](mapqn_linalg::Lu) of `mapqn-linalg`) together with a *product-form*
+//! [`mapqn_linalg::Lu`] of `mapqn-linalg`) together with a *product-form*
 //! eta file recording the pivots performed since the last refactorization:
 //!
 //! ```text
@@ -16,7 +16,7 @@
 //! refactorized from scratch, which also curbs the numerical drift of the
 //! product form.
 //!
-//! The module also provides [`complete_basis`], a "crash" routine that turns
+//! The module also provides `complete_basis`, a "crash" routine that turns
 //! an arbitrary candidate column set (for instance a basis carried over from
 //! a related problem) into a nonsingular basis by Gaussian elimination,
 //! filling uncovered pivot rows with artificial columns.

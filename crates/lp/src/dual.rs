@@ -44,7 +44,7 @@
 //! [`crate::problem::LpProblem`], this is the place to extend.
 //!
 //! The LU/eta machinery is shared with the primal engine
-//! ([`crate::basis::BasisFactor`]): dual pivots push the same product-form
+//! (`crate::basis::BasisFactor`): dual pivots push the same product-form
 //! updates and trigger the same periodic refactorization.
 
 use crate::basis::{complete_basis, BasisFactor, ColumnSource};

@@ -10,31 +10,44 @@
 //! generic pieces:
 //!
 //! * [`statespace::StateSpaceBuilder`] — breadth-first enumeration of a
-//!   reachable state space from a transition function, producing a sparse
-//!   generator and a state index;
+//!   reachable state space from a transition function, streaming the sparse
+//!   generator directly into CSR (no triplet list, no dense copy) together
+//!   with a state index;
 //! * [`ctmc::Ctmc`] — a validated CTMC with its generator in CSR form;
 //! * [`steady`] — stationary distribution solvers: dense GTH elimination
-//!   (numerically robust, `O(n^3)`, used up to a few thousand states) and a
-//!   Gauss–Seidel / power-iteration path for larger sparse chains;
+//!   (numerically robust, `O(n^3)`, used up to a few thousand states) plus
+//!   the automatic dense/sparse selection of [`steady::stationary_auto`];
+//! * [`sparse_steady`] — the large-chain engine: Gauss–Seidel /
+//!   Jacobi-preconditioned iterations with adaptive uniformization on the
+//!   CSR generator, parallel over row blocks via `mapqn-par`, with a
+//!   residual-based (`‖πQ‖_∞`) stopping criterion — this is what carries
+//!   exact validation references into the `10^5`–`10^7`-state regime;
 //! * [`dtmc::Dtmc`] — discrete-time chains (used for embedded processes and
 //!   uniformized chains);
 //! * [`transient`] — transient state probabilities via uniformization
 //!   (an extension beyond the paper's steady-state analysis, used by tests
-//!   and examples).
+//!   and examples), sharing the parallel sparse matvec kernel.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod ctmc;
 pub mod dtmc;
+pub mod sparse_steady;
 pub mod statespace;
 pub mod steady;
 pub mod transient;
 
 pub use ctmc::Ctmc;
 pub use dtmc::Dtmc;
+pub use sparse_steady::{
+    stationary_sparse, SparsePreconditioner, SparseSteadyOptions, SparseSteadyReport,
+};
 pub use statespace::{StateSpace, StateSpaceBuilder};
-pub use steady::{stationary_auto, stationary_dense_gth, stationary_iterative, SteadyStateOptions};
+pub use steady::{
+    stationary_auto, stationary_dense_gth, stationary_iterative, stationary_residual,
+    SteadyStateOptions,
+};
 
 /// Error type for Markov-chain construction and solution.
 #[derive(Debug, Clone, PartialEq)]

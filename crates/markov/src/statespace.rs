@@ -10,6 +10,7 @@
 
 use crate::ctmc::Ctmc;
 use crate::{MarkovError, Result};
+use mapqn_linalg::CsrAssembler;
 use std::collections::HashMap;
 use std::hash::Hash;
 
@@ -102,6 +103,14 @@ impl StateSpaceBuilder {
     /// back to the same state are allowed and ignored (they do not affect
     /// the CTMC).
     ///
+    /// The generator is assembled **directly into CSR** while the breadth-
+    /// first exploration runs: states are processed in index order, so each
+    /// state's outgoing edges form exactly one CSR row (diagonal included),
+    /// which is streamed into a [`mapqn_linalg::CsrAssembler`]. No
+    /// coordinate-triplet list — let alone a dense copy — of the generator
+    /// ever exists, which is what keeps `10^6`–`10^7`-state enumerations
+    /// within memory reach of the sparse steady-state engine.
+    ///
     /// # Errors
     /// * [`MarkovError::StateSpaceTooLarge`] when the reachable set exceeds
     ///   the configured limit.
@@ -114,7 +123,8 @@ impl StateSpaceBuilder {
     {
         let mut states: Vec<S> = Vec::new();
         let mut index: HashMap<S, usize> = HashMap::new();
-        let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+        let mut assembler = CsrAssembler::new();
+        let mut row: Vec<(usize, f64)> = Vec::new();
 
         states.push(initial.clone());
         index.insert(initial, 0);
@@ -127,6 +137,8 @@ impl StateSpaceBuilder {
                 });
             }
             let current = states[frontier].clone();
+            row.clear();
+            let mut diagonal = 0.0_f64;
             for (next, rate) in transitions(&current) {
                 if rate < 0.0 || !rate.is_finite() {
                     return Err(MarkovError::InvalidChain(format!(
@@ -146,9 +158,14 @@ impl StateSpaceBuilder {
                     }
                 };
                 if next_idx != frontier {
-                    edges.push((frontier, next_idx, rate));
+                    row.push((next_idx, rate));
+                    diagonal -= rate;
                 }
             }
+            if diagonal != 0.0 {
+                row.push((frontier, diagonal));
+            }
+            assembler.push_row(&mut row);
             frontier += 1;
         }
 
@@ -158,7 +175,9 @@ impl StateSpaceBuilder {
             });
         }
 
-        let ctmc = Ctmc::from_transitions(states.len(), &edges)?;
+        let n = states.len();
+        let generator = assembler.finish(n).map_err(MarkovError::from)?;
+        let ctmc = Ctmc::new(generator)?;
         Ok(StateSpace {
             states,
             index,

@@ -1,32 +1,45 @@
 //! Stationary distribution solvers for CTMCs.
 //!
-//! Two complementary algorithms are provided:
+//! Three complementary algorithms are provided:
 //!
 //! * **GTH elimination** (Grassmann–Taksar–Heyman) on a dense copy of the
 //!   generator. GTH performs Gaussian elimination using only additions of
 //!   non-negative quantities, so it is backward stable for Markov chains and
 //!   has no convergence parameters. Cost is `O(n^3)` time and `O(n^2)`
-//!   memory, which is fine up to a few thousand states — exactly the regime
-//!   of the paper's exact ("global balance") reference solutions.
-//! * **Power iteration on the uniformized chain** with an adaptive number of
-//!   sweeps, for larger sparse chains where a dense copy is not affordable.
+//!   memory, which is fine up to a few thousand states.
+//! * The **sparse preconditioned engine** of [`crate::sparse_steady`]:
+//!   row-block-parallel Gauss–Seidel / Jacobi-preconditioned iterations on
+//!   the CSR generator with a residual-based (`‖πQ‖_∞`) stopping rule —
+//!   the path that carries the paper's exact ("global balance") validation
+//!   references into the `10^5`–`10^7`-state regime.
+//! * **Plain power iteration on the globally uniformized chain**
+//!   ([`stationary_iterative`]), kept as the simplest iterative baseline
+//!   and as the sparse engine's most conservative internal fallback.
 //!
-//! [`stationary_auto`] picks between the two based on the state count.
+//! [`stationary_auto`] picks GTH below
+//! [`SteadyStateOptions::dense_threshold`] states and the sparse engine
+//! above it.
 
 use crate::ctmc::Ctmc;
+use crate::sparse_steady::{stationary_sparse, SparseSteadyOptions};
 use crate::{MarkovError, Result};
 use mapqn_linalg::{norms, DVector};
 
-/// Options controlling the iterative solver and the automatic selection.
+/// Options controlling the iterative solvers and the automatic selection.
 #[derive(Debug, Clone, Copy)]
 pub struct SteadyStateOptions {
-    /// Convergence tolerance on the sup-norm change of the iterate.
+    /// Convergence tolerance: the sup-norm change of the iterate for
+    /// [`stationary_iterative`] (legacy power path); the sparse engine uses
+    /// the residual-based tolerance in [`SteadyStateOptions::sparse`].
     pub tolerance: f64,
-    /// Maximum number of iterations of the power method.
+    /// Maximum number of iterations of the legacy power method.
     pub max_iterations: usize,
     /// State-count threshold below which the dense GTH solver is used by
     /// [`stationary_auto`].
     pub dense_threshold: usize,
+    /// Options for the sparse preconditioned engine used above the
+    /// threshold (tolerance, preconditioner, worker count, block length).
+    pub sparse: SparseSteadyOptions,
 }
 
 impl Default for SteadyStateOptions {
@@ -35,6 +48,7 @@ impl Default for SteadyStateOptions {
             tolerance: 1e-12,
             max_iterations: 200_000,
             dense_threshold: 2_000,
+            sparse: SparseSteadyOptions::default(),
         }
     }
 }
@@ -132,20 +146,35 @@ pub fn stationary_iterative(ctmc: &Ctmc, options: &SteadyStateOptions) -> Result
 }
 
 /// Computes the stationary distribution, choosing the dense GTH solver for
-/// small chains and the iterative solver for large ones.
+/// small chains and the sparse preconditioned engine
+/// ([`crate::sparse_steady::stationary_sparse`]) for large ones.
+///
+/// The legacy `tolerance` / `max_iterations` knobs still bound the routed
+/// sparse solve: the engine runs at the *tighter* of the legacy and sparse
+/// tolerances and the *smaller* of the two work budgets, so a caller that
+/// capped the old power path keeps its bound instead of having the fields
+/// silently ignored.
 ///
 /// # Errors
 /// Propagates the error of whichever solver was selected; if GTH fails due
-/// to reducibility the iterative solver is tried as a fallback.
+/// to reducibility the sparse engine is tried as a fallback (its internal
+/// power path handles reducible generators).
 pub fn stationary_auto(ctmc: &Ctmc, options: &SteadyStateOptions) -> Result<DVector> {
+    let sparse_options = SparseSteadyOptions {
+        tolerance: options.sparse.tolerance.min(options.tolerance),
+        max_sweeps: options.sparse.max_sweeps.min(options.max_iterations),
+        ..options.sparse
+    };
     if ctmc.num_states() <= options.dense_threshold {
         match stationary_dense_gth(ctmc) {
             Ok(pi) => Ok(pi),
-            Err(MarkovError::InvalidChain(_)) => stationary_iterative(ctmc, options),
+            Err(MarkovError::InvalidChain(_)) => {
+                Ok(stationary_sparse(ctmc, &sparse_options)?.pi)
+            }
             Err(e) => Err(e),
         }
     } else {
-        stationary_iterative(ctmc, options)
+        Ok(stationary_sparse(ctmc, &sparse_options)?.pi)
     }
 }
 
@@ -240,6 +269,7 @@ mod tests {
             tolerance: 1e-15,
             max_iterations: 2,
             dense_threshold: 0,
+            ..SteadyStateOptions::default()
         };
         assert!(matches!(
             stationary_iterative(&ctmc, &opts),

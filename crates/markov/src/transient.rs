@@ -11,8 +11,10 @@
 //! cumulative Poisson weight is close enough to one.
 
 use crate::ctmc::Ctmc;
+use crate::sparse_steady::par_left_mul;
 use crate::{MarkovError, Result};
 use mapqn_linalg::DVector;
+use mapqn_par::WorkPool;
 
 /// Options for the uniformization algorithm.
 #[derive(Debug, Clone, Copy)]
@@ -21,6 +23,12 @@ pub struct TransientOptions {
     pub truncation_error: f64,
     /// Hard cap on the number of accumulated terms (default `1_000_000`).
     pub max_terms: usize,
+    /// Worker threads for the per-term sparse matvec (0 = one per available
+    /// core). The products are row-block parallel with fixed block
+    /// boundaries, so results are bitwise worker-count invariant.
+    pub workers: usize,
+    /// Row-block length of the parallel matvec.
+    pub block_len: usize,
 }
 
 impl Default for TransientOptions {
@@ -28,6 +36,8 @@ impl Default for TransientOptions {
         Self {
             truncation_error: 1e-10,
             max_terms: 1_000_000,
+            workers: 0,
+            block_len: 4096,
         }
     }
 }
@@ -69,6 +79,20 @@ pub fn transient_distribution(
 
     let (p, q) = ctmc.uniformized(1e-6);
     let lambda = q * t;
+    // Every Poisson term is a left product `term ← term P`, i.e. a plain
+    // matvec with `P^T` — transpose once, then run each term's product
+    // row-block parallel (same kernel as the sparse steady-state engine).
+    // P itself is dead after the transpose; dropping it halves the peak
+    // matrix memory, which matters at the 10^6+-state scale.
+    let pt = p.transpose();
+    drop(p);
+    let pool = WorkPool::new(if options.workers == 0 {
+        mapqn_par::available_parallelism()
+    } else {
+        options.workers
+    });
+    let block_len = options.block_len.max(1);
+    let mut term_next = vec![0.0_f64; n];
 
     let mut weight = (-lambda).exp();
     // For large lambda, exp(-lambda) underflows; start accumulating at the
@@ -94,7 +118,8 @@ pub fn transient_distribution(
                 residual: 1.0 - cumulative,
             });
         }
-        term_vec = p.vecmat(&term_vec)?;
+        par_left_mul(&pool, &pt, block_len, term_vec.as_slice(), &mut term_next);
+        term_vec.as_mut_slice().copy_from_slice(&term_next);
         if weight > 0.0 {
             weight *= lambda / k as f64;
         } else {
@@ -186,6 +211,7 @@ mod tests {
         let opts = TransientOptions {
             truncation_error: 1e-12,
             max_terms: 3,
+            ..TransientOptions::default()
         };
         assert!(matches!(
             transient_distribution(&ctmc, &initial, 10.0, &opts),

@@ -90,6 +90,64 @@ impl WorkPool {
         self.threads
     }
 
+    /// Runs `f` over disjoint consecutive chunks of `data`, in parallel
+    /// across the pool's workers: `f(start, chunk)` receives the chunk
+    /// beginning at `data[start]` with `chunk.len() <= chunk_len` (only the
+    /// last chunk may be shorter).
+    ///
+    /// This is the primitive behind the row-block-parallel sparse kernels in
+    /// `mapqn-markov`: each worker owns the output rows of the chunks it
+    /// claims, so there is no reduction step at all — every output element
+    /// is written exactly once, by a computation that depends only on the
+    /// chunk boundaries. Because the boundaries derive from `chunk_len`
+    /// (never from the worker count), the result is **bitwise identical at
+    /// any worker count**, which is the same determinism contract
+    /// [`WorkPool::map`] gives for coarse jobs.
+    ///
+    /// `chunk_len` is clamped to at least 1.
+    ///
+    /// # Panics
+    /// Re-raises the panic of any chunk job after the pool has quiesced.
+    pub fn for_each_chunk<T, F>(&self, data: &mut [T], chunk_len: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        let chunk_len = chunk_len.max(1);
+        if self.threads == 1 || data.len() <= chunk_len {
+            for (ci, chunk) in data.chunks_mut(chunk_len).enumerate() {
+                f(ci * chunk_len, chunk);
+            }
+            return;
+        }
+        // Hand each worker exclusive ownership of the chunks it claims: the
+        // chunk list is built once (disjoint &mut borrows), workers race only
+        // on the cursor. The per-chunk Mutex is uncontended by construction —
+        // a chunk index is claimed exactly once.
+        type ChunkSlot<'a, T> = Mutex<Option<(usize, &'a mut [T])>>;
+        let jobs: Vec<ChunkSlot<'_, T>> = data
+            .chunks_mut(chunk_len)
+            .enumerate()
+            .map(|(ci, chunk)| Mutex::new(Some((ci * chunk_len, chunk))))
+            .collect();
+        let cursor = AtomicUsize::new(0);
+        let workers = self.threads.min(jobs.len());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(slot) = jobs.get(i) else { break };
+                    let (start, chunk) = slot
+                        .lock()
+                        .expect("chunk slot poisoned")
+                        .take()
+                        .expect("every chunk index below len is claimed exactly once");
+                    f(start, chunk);
+                });
+            }
+        });
+    }
+
     /// Applies `f` to every item, in parallel across the pool's workers,
     /// and returns the results in item order: `result[i] = f(i, &items[i])`.
     ///
@@ -202,6 +260,46 @@ mod tests {
             std::hint::black_box((0..cost).sum::<u64>()) + i as u64
         });
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn chunked_runs_cover_every_element_at_any_worker_count() {
+        for threads in [1, 2, 3, 8] {
+            for chunk_len in [1, 3, 64, 1000] {
+                let mut data: Vec<usize> = vec![0; 100];
+                WorkPool::new(threads).for_each_chunk(&mut data, chunk_len, |start, chunk| {
+                    for (i, x) in chunk.iter_mut().enumerate() {
+                        *x = start + i + 1;
+                    }
+                });
+                let expected: Vec<usize> = (1..=100).collect();
+                assert_eq!(data, expected, "threads={threads} chunk_len={chunk_len}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_zero_chunk_len_clamps_and_empty_input_is_fine() {
+        let mut data = vec![1, 2, 3];
+        WorkPool::new(2).for_each_chunk(&mut data, 0, |_, chunk| {
+            for x in chunk.iter_mut() {
+                *x *= 10;
+            }
+        });
+        assert_eq!(data, vec![10, 20, 30]);
+        let mut empty: Vec<i32> = Vec::new();
+        WorkPool::new(4).for_each_chunk(&mut empty, 8, |_, _| panic!("no chunks expected"));
+    }
+
+    #[test]
+    fn chunked_panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            let mut data = vec![0usize; 16];
+            WorkPool::new(2).for_each_chunk(&mut data, 4, |start, _| {
+                assert!(start != 8, "chunk at 8 fails");
+            });
+        });
+        assert!(result.is_err());
     }
 
     #[test]

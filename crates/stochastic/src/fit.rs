@@ -12,7 +12,7 @@
 //!    matching;
 //! 2. install the requested geometric autocorrelation by making phases
 //!    sticky across completions (see
-//!    [`map2_correlated`](crate::builders::map2_correlated)), which leaves
+//!    [`crate::builders::map2_correlated`]), which leaves
 //!    the marginal untouched.
 //!
 //! The paper's reference \[2\] (Casale, Zhang, Smirni 2007) argues that

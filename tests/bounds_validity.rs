@@ -35,7 +35,7 @@ fn bounds_bracket_exact_on_random_models_all_indices() {
                 // Mean-queue-length objectives are the most degenerate of
                 // the bound LPs and the dense simplex is not yet reliable on
                 // them for arbitrary random models (documented limitation,
-                // see DESIGN.md "Known numerical limitations"); they are
+                // see docs/ARCHITECTURE.md, known numerical limitations); they are
                 // exercised on the curated models in the mapqn-core unit
                 // tests instead of here.
             }

@@ -108,6 +108,58 @@ fn autocorrelation_degrades_throughput_at_fixed_marginal() {
     );
 }
 
+/// Exact references at populations the dense path never reached: the
+/// figure-5 model at `N = 50` has a 2,652-state CTMC — beyond the dense
+/// GTH threshold, where the old unpreconditioned power path was the only
+/// (impractical) option. The sparse preconditioned engine solves it
+/// directly (on this SCV=4 instance via its fallback ladder: plain
+/// Gauss–Seidel diverges and the engine retreats to the uniformized power
+/// rung), and the LP bounds must bracket every index of the result — the
+/// first exact cross-check at populations the bounds have handled since
+/// the sweep PRs with nothing to validate against. (Populations of 100+
+/// solve exactly in seconds too — `bench_exact` gates one — but *cold*
+/// `bound_all` past N≈50 is its own LP-scaling frontier, noted in
+/// ROADMAP.md, so this test stays at the largest population both sides
+/// handle briskly.)
+#[test]
+fn lp_bounds_contain_sparse_exact_reference_at_large_population() {
+    let population = 50;
+    let network = figure5_network(population, 4.0, 0.5).unwrap();
+    // 2.6k states: the default options route this to the sparse engine.
+    let exact = solve_exact(&network).unwrap();
+    assert!((exact.total_jobs() - population as f64).abs() < 1e-6);
+
+    let mut solver = MarginalBoundSolver::new(&network).unwrap();
+    let bounds = solver.bound_all().unwrap();
+    assert!(
+        bounds
+            .system_throughput
+            .contains(exact.system_throughput, 1e-6),
+        "throughput {} outside [{}, {}]",
+        exact.system_throughput,
+        bounds.system_throughput.lower,
+        bounds.system_throughput.upper
+    );
+    for k in 0..3 {
+        assert!(
+            bounds.utilization[k].contains(exact.utilization[k], 1e-6),
+            "station {k} utilization"
+        );
+        assert!(
+            bounds.throughput[k].contains(exact.throughput[k], 1e-6),
+            "station {k} throughput"
+        );
+        assert!(
+            bounds.mean_queue_length[k].contains(exact.mean_queue_length[k], 1e-6),
+            "station {k} mean queue length"
+        );
+    }
+    assert!(bounds
+        .system_response_time
+        .contains(exact.system_response_time, 1e-6));
+    assert_eq!(solver.stats().dense_fallbacks, 0);
+}
+
 /// The TPC-W template is solvable end to end by simulation and by MVA when
 /// the front server is exponential, and the two agree.
 #[test]
