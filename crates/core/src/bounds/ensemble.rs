@@ -216,6 +216,9 @@ impl EnsembleRunner {
     /// the remaining scenarios still ran (the pool has no cancellation —
     /// jobs are too coarse for it to pay off).
     pub fn run(&self, scenarios: &[Scenario]) -> Result<EnsembleReport> {
+        // One pool for the whole batch: `WorkPool::map` clamps the width
+        // to the job count and runs the batch as a single round of a
+        // scoped (spawn-once) pool — the right shape for coarse jobs.
         let outcomes: Vec<Result<ScenarioResult>> = self
             .pool
             .map(scenarios, |job, scenario| self.run_one(job, scenario));

@@ -272,6 +272,7 @@ struct WarmState {
 #[derive(Default)]
 struct SolverContext {
     warm: Option<WarmState>,
+    timings: SolverTimings,
     /// Optimal bases of the objectives solved by the last
     /// [`MarginalBoundSolver::bound_all`]-style call, in canonical order
     /// (see `MarginalBoundSolver::canonical_indices`); the raw material a
@@ -331,6 +332,47 @@ pub struct SolverStats {
     /// feasible warm start by the zero-objective dual repair (standing in
     /// for a cold phase 1).
     pub feasibility_repairs: usize,
+}
+
+/// Per-phase wall-clock profile of a solver's lifetime, exposed through
+/// [`MarginalBoundSolver::timings`]. Deliberately separate from
+/// [`SolverStats`]: the counters are schedule-independent and compared
+/// bitwise by the determinism tests, while wall-clock numbers differ on
+/// every run — they exist for performance forensics (the `bench_lp`
+/// large-N cold profile that located the cold-`bound_all` hotspot, see
+/// ROADMAP.md).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolverTimings {
+    /// Constraint-set construction plus revised-engine setup (first
+    /// factorization of the standard form).
+    pub setup_ns: u64,
+    /// Cold phase-1 runs (`find_feasible_basis`) of the revised engine.
+    pub phase1_ns: u64,
+    /// Dual-simplex re-solves from cross-population seeds.
+    pub dual_ns: u64,
+    /// Zero-objective dual repairs of rejected/carried seeds.
+    pub repair_ns: u64,
+    /// Primal warm-started objective solves (the `bound_all` workhorse).
+    pub primal_ns: u64,
+    /// Dense-tableau oracle fallbacks (should stay zero like the counter).
+    pub dense_ns: u64,
+    /// Simplex iterations of the primal solves (pivots + re-pricings).
+    pub primal_pivots: u64,
+    /// Simplex iterations of the dual re-solves.
+    pub dual_pivots: u64,
+}
+
+impl SolverTimings {
+    /// Total time across all phases, in nanoseconds.
+    #[must_use]
+    pub fn total_ns(&self) -> u64 {
+        self.setup_ns
+            + self.phase1_ns
+            + self.dual_ns
+            + self.repair_ns
+            + self.primal_ns
+            + self.dense_ns
+    }
 }
 
 /// The bound solver: builds the constraint set once and solves a pair of
@@ -415,6 +457,7 @@ impl MarginalBoundSolver {
                     .into(),
             ));
         }
+        let t_setup = std::time::Instant::now();
         let layout = VariableLayout::new(network);
         let (base, row_keys) = build_constraints(network, &layout, &options);
         let visit_ratios = network.visit_ratios()?;
@@ -435,6 +478,8 @@ impl MarginalBoundSolver {
             .enumerate()
             .map(|(row, &key)| (key, row))
             .collect();
+        let mut context = SolverContext::default();
+        context.timings.setup_ns = t_setup.elapsed().as_nanos() as u64;
         Ok(Self {
             network: network.clone(),
             options,
@@ -446,7 +491,7 @@ impl MarginalBoundSolver {
             row_slack,
             slack_rows,
             total_real: cursor,
-            context: SolverContext::default(),
+            context,
         })
     }
 
@@ -457,6 +502,14 @@ impl MarginalBoundSolver {
     #[must_use]
     pub fn stats(&self) -> SolverStats {
         self.context.stats
+    }
+
+    /// Per-phase wall-clock profile (constraint build, phase 1, dual /
+    /// repair / primal / dense solve time, pivot counts) accumulated since
+    /// this solver was created. See [`SolverTimings`].
+    #[must_use]
+    pub fn timings(&self) -> SolverTimings {
+        self.context.timings
     }
 
     /// Number of LP variables (the `M^2 (N+1) K`-style count the paper
@@ -819,7 +872,10 @@ impl MarginalBoundSolver {
         seed: Option<&Basis>,
     ) -> Result<(LpSolution, Option<Basis>, SlotOutcome)> {
         if self.options.simplex.engine == SimplexEngine::DenseTableau {
-            return Ok((self.solve_dense(terms, sense)?, None, SlotOutcome::Primal));
+            let t_dense = std::time::Instant::now();
+            let solution = self.solve_dense(terms, sense);
+            self.context.timings.dense_ns += t_dense.elapsed().as_nanos() as u64;
+            return Ok((solution?, None, SlotOutcome::Primal));
         }
         let attempt = self.solve_revised(terms, sense, seed);
         if dual_debug() {
@@ -836,11 +892,10 @@ impl MarginalBoundSolver {
             // count the fallback so it stays observable.
             Ok(None) | Err(CoreError::Lp(_)) => {
                 self.context.stats.dense_fallbacks += 1;
-                Ok((
-                    self.solve_dense(terms, sense)?,
-                    None,
-                    SlotOutcome::DenseFallback,
-                ))
+                let t_dense = std::time::Instant::now();
+                let solution = self.solve_dense(terms, sense);
+                self.context.timings.dense_ns += t_dense.elapsed().as_nanos() as u64;
+                Ok((solution?, None, SlotOutcome::DenseFallback))
             }
             Err(other) => Err(other),
         }
@@ -862,14 +917,17 @@ impl MarginalBoundSolver {
         dual_seed: Option<&Basis>,
     ) -> Result<Option<(LpSolution, Basis, SlotOutcome)>> {
         if self.context.warm.is_none() {
+            let t_setup = std::time::Instant::now();
             let engine = RevisedSimplex::new(&self.base).map_err(CoreError::Lp)?;
             engine.set_perturbation_salt(self.options.simplex.perturbation_salt);
             self.context.warm = Some(WarmState {
                 engine,
                 basis: None,
             });
+            self.context.timings.setup_ns += t_setup.elapsed().as_nanos() as u64;
         }
         let stats = &mut self.context.stats;
+        let timings = &mut self.context.timings;
         let warm = self.context.warm.as_mut().expect("initialized above");
 
         let mut objective = vec![0.0; self.layout.total];
@@ -878,14 +936,17 @@ impl MarginalBoundSolver {
         }
 
         if let Some(seed) = dual_seed {
-            match warm
-                .engine
-                .solve_dual_from_basis(&objective, sense, seed, &self.options.simplex)
-            {
+            let t_dual = std::time::Instant::now();
+            let attempt =
+                warm.engine
+                    .solve_dual_from_basis(&objective, sense, seed, &self.options.simplex);
+            timings.dual_ns += t_dual.elapsed().as_nanos() as u64;
+            match attempt {
                 Ok(Some((solution, basis, _outcome)))
                     if solution.status == LpStatus::Optimal =>
                 {
                     warm.basis = Some(basis.clone());
+                    timings.dual_pivots += solution.iterations as u64;
                     let outcome = if solution.iterations <= TRANSFER_ACCEPT_ITERATIONS {
                         SlotOutcome::DualWarm
                     } else {
@@ -917,29 +978,37 @@ impl MarginalBoundSolver {
         // the whole cold phase 1.
         let mut repaired = false;
         if let Some(seed) = dual_seed {
-            if let Ok(Some(basis)) = warm
+            let t_repair = std::time::Instant::now();
+            let attempt = warm
                 .engine
-                .repair_primal_feasible(seed, &self.options.simplex)
-            {
+                .repair_primal_feasible(seed, &self.options.simplex);
+            timings.repair_ns += t_repair.elapsed().as_nanos() as u64;
+            if let Ok(Some(basis)) = attempt {
                 warm.basis = Some(basis);
                 repaired = true;
             }
         }
         if warm.basis.is_none() {
-            let Some(basis) = warm
-                .engine
-                .find_feasible_basis(&self.options.simplex)
-                .map_err(CoreError::Lp)?
-            else {
+            // Timing accumulates before the error check on purpose: the
+            // failure path is exactly where the profile matters (the cold
+            // breakdown at large N burns its minutes *inside* failing
+            // solves, which a success-only profile would report as zero).
+            let t_phase1 = std::time::Instant::now();
+            let found = warm.engine.find_feasible_basis(&self.options.simplex);
+            timings.phase1_ns += t_phase1.elapsed().as_nanos() as u64;
+            let Some(basis) = found.map_err(CoreError::Lp)? else {
                 return Ok(None);
             };
             warm.basis = Some(basis);
         }
         let start = warm.basis.clone().expect("ensured above");
-        let (solution, next_basis) = warm
-            .engine
-            .solve_from_basis(&objective, sense, &start, &self.options.simplex)
-            .map_err(CoreError::Lp)?;
+        let t_primal = std::time::Instant::now();
+        let attempt =
+            warm.engine
+                .solve_from_basis(&objective, sense, &start, &self.options.simplex);
+        timings.primal_ns += t_primal.elapsed().as_nanos() as u64;
+        let (solution, next_basis) = attempt.map_err(CoreError::Lp)?;
+        timings.primal_pivots += solution.iterations as u64;
         if solution.status != LpStatus::Optimal {
             return Ok(None);
         }

@@ -21,7 +21,7 @@ pub mod sweep;
 
 pub use aba::{aba_bounds, balanced_job_bounds, AsymptoticBounds};
 pub use ensemble::{EnsembleReport, EnsembleRunner, EnsembleStats, Scenario, ScenarioResult};
-pub use marginal::{BoundOptions, MarginalBoundSolver, NetworkBounds, SolverStats};
+pub use marginal::{BoundOptions, MarginalBoundSolver, NetworkBounds, SolverStats, SolverTimings};
 pub use sweep::{PopulationSweep, SweepStats};
 
 /// A two-sided bound on a scalar performance index.

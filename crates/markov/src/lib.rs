@@ -41,7 +41,7 @@ pub mod transient;
 pub use ctmc::Ctmc;
 pub use dtmc::Dtmc;
 pub use sparse_steady::{
-    stationary_sparse, SparsePreconditioner, SparseSteadyOptions, SparseSteadyReport,
+    stationary_sparse, SparsePreconditioner, SparseSteadyOptions, SparseSteadyReport, SpawnMode,
 };
 pub use statespace::{StateSpace, StateSpaceBuilder};
 pub use steady::{

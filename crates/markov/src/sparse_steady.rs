@@ -24,11 +24,15 @@
 //!   dimensionless), not by the change between iterates — a stalled
 //!   iteration can have a tiny step and a large residual;
 //! * sweeps, matvecs and residuals are parallelized over **row blocks**
-//!   with the `mapqn-par` scoped-thread pool. Block boundaries derive from
-//!   [`SparseSteadyOptions::block_len`], never from the worker count, and
-//!   each output element is written exactly once, so results are bitwise
-//!   identical at any worker count (the same determinism contract as the
-//!   ensemble layer in `mapqn-core`).
+//!   on a *persistent* `mapqn-par` pool: one `WorkPool::scoped` is hoisted
+//!   around the whole solve, so the workers are spawned once and every
+//!   sweep is a parked-worker wake/quiesce round (nanosecond-to-microsecond
+//!   handshake) instead of a thread spawn — which is what lets chains far
+//!   below the old 100k-state spawn-amortization gate profit from cores.
+//!   Block boundaries derive from [`SparseSteadyOptions::block_len`], never
+//!   from the worker count, and each output element is written exactly
+//!   once, so results are bitwise identical at any worker count (the same
+//!   determinism contract as the ensemble layer in `mapqn-core`).
 //!
 //! The memory footprint is two copies of the generator (CSR plus its
 //! transpose) and a handful of state-length vectors — about 20 bytes per
@@ -38,7 +42,16 @@
 use crate::ctmc::Ctmc;
 use crate::{MarkovError, Result};
 use mapqn_linalg::{CsrMatrix, DVector};
-use mapqn_par::WorkPool;
+use mapqn_par::{ScopedPool, WorkPool};
+
+/// Whether `MAPQN_SPARSE_DEBUG` residual tracing is on — read once per
+/// process. Prints every residual check (rung, sweep, residual, best) to
+/// stderr; the data behind the divergence-predictor and extrapolation
+/// tuning in this module.
+fn sparse_debug() -> bool {
+    static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FLAG.get_or_init(|| std::env::var_os("MAPQN_SPARSE_DEBUG").is_some())
+}
 
 /// Which preconditioner drives the sparse stationary iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,15 +89,27 @@ pub struct SparseSteadyOptions {
     /// Row-block length for the parallel sweeps. Fixed independently of the
     /// worker count so results are worker-count invariant.
     pub block_len: usize,
-    /// Worker threads (0 = one per available core).
+    /// Worker threads (0 = one per available core, or the
+    /// `MAPQN_POOL_THREADS` override).
     pub workers: usize,
-    /// Minimum state count before worker threads engage; below it every
-    /// operation runs serially on the caller's thread. The `mapqn-par` pool
-    /// spawns scoped threads per call, so the spawn/join cost only
-    /// amortizes once a sweep does enough work (~a few ms); on small and
-    /// mid-size chains the serial path is faster. Set to 0 to force the
+    /// Minimum **per-sweep work** — measured in generator nonzeros, the
+    /// unit every sweep/matvec round scans once — before worker threads
+    /// engage; below it every operation runs serially on the caller's
+    /// thread. The engine holds one persistent pool for the whole solve,
+    /// so the per-round cost is a parked-worker wake/quiesce handshake
+    /// (~1–2 µs worst case, sub-microsecond when rounds are back-to-back),
+    /// not a thread spawn: the default keeps that handshake a small
+    /// fraction of the round (at ~6–7 generator entries per row it puts
+    /// the parallel cut-in near 1–2k states — the figure-5 and TPC-W
+    /// validation sizes — where the old per-call-spawn design needed
+    /// 100k states to amortize its spawns). Set to 0 to force the
     /// threaded path regardless of size (the determinism gates do this).
     pub parallel_threshold: usize,
+    /// How the engine acquires its worker threads. The default
+    /// [`SpawnMode::Persistent`] is strictly better at every size; the
+    /// per-call mode exists as the measured baseline of the `bench_exact`
+    /// pool-overhead comparison.
+    pub spawn_mode: SpawnMode,
     /// First preconditioner to try; on divergence or stall the engine falls
     /// back along [`SparsePreconditioner::GaussSeidel`] →
     /// [`SparsePreconditioner::Jacobi`] → [`SparsePreconditioner::Power`].
@@ -106,11 +131,25 @@ impl Default for SparseSteadyOptions {
             check_every: 16,
             block_len: 4096,
             workers: 0,
-            parallel_threshold: 100_000,
+            parallel_threshold: 8_192,
+            spawn_mode: SpawnMode::Persistent,
             preconditioner: SparsePreconditioner::GaussSeidel,
             sor_omega: 1.0,
         }
     }
+}
+
+/// How the sparse engine acquires worker threads for its parallel rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpawnMode {
+    /// One persistent pool for the whole solve: workers are spawned once,
+    /// parked between rounds, and joined when the solve returns. The
+    /// default — thousands of sweep rounds share one spawn.
+    Persistent,
+    /// Spawn and join threads on every parallel round (the pre-persistent
+    /// design). Kept as the measured baseline for the `bench_exact`
+    /// pool-overhead gate; never faster than [`SpawnMode::Persistent`].
+    PerCall,
 }
 
 /// Result of a sparse stationary solve: the distribution plus convergence
@@ -127,23 +166,65 @@ pub struct SparseSteadyReport {
     pub used: SparsePreconditioner,
 }
 
+/// The executor behind every parallel round of the solve: either a live
+/// persistent pool (workers parked between rounds) or a per-call-spawning
+/// `WorkPool` (the benchmark baseline). Both cut `data` at the same
+/// `chunk_len` boundaries, so the two modes — and every worker count —
+/// are bitwise identical.
+pub(crate) enum ParExec<'a> {
+    /// Rounds reuse the parked workers of one `WorkPool::scoped` region.
+    Persistent(&'a ScopedPool<'a>),
+    /// Every round spawns and joins its own threads.
+    PerCall(WorkPool),
+}
+
+impl ParExec<'_> {
+    pub(crate) fn for_each_chunk<T, F>(&self, data: &mut [T], chunk_len: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        match self {
+            ParExec::Persistent(pool) => pool.for_each_chunk(data, chunk_len, f),
+            ParExec::PerCall(pool) => pool.for_each_chunk(data, chunk_len, f),
+        }
+    }
+}
+
 /// `out = x^T A` computed as row scans of `A^T`, parallel over row blocks of
 /// `at = A^T`. Every output element is written by exactly one block, so the
 /// result is bitwise independent of the worker count.
 pub(crate) fn par_left_mul(
-    pool: &WorkPool,
+    exec: &ParExec<'_>,
     at: &CsrMatrix,
     block_len: usize,
     x: &[f64],
     out: &mut [f64],
 ) {
-    pool.for_each_chunk(out, block_len, |start, chunk| {
+    exec.for_each_chunk(out, block_len, |start, chunk| {
         at.matvec_rows_into(start, x, chunk);
     });
 }
 
-/// Shared per-solve context: `Q^T`, the per-state exit rates and the pool.
-struct Kernel {
+/// The worker count a solve should use, from the requested width and the
+/// per-round work: rounds below the work threshold stay serial (the
+/// handshake would be a measurable fraction of the round), everything else
+/// fans out to `workers` (0 = [`mapqn_par::default_threads`]). Shared by
+/// the stationary engine and the transient uniformization path so the
+/// policy cannot drift between them.
+pub(crate) fn effective_workers(per_round_work: usize, threshold: usize, workers: usize) -> usize {
+    if per_round_work < threshold {
+        1
+    } else if workers == 0 {
+        mapqn_par::default_threads()
+    } else {
+        workers
+    }
+}
+
+/// Shared per-solve context: `Q^T`, the per-state exit rates and the
+/// round executor.
+struct Kernel<'a> {
     /// Transposed generator: row `i` lists the inflow rates `Q[j, i]` (plus
     /// the diagonal), the access pattern of every left operation.
     qt: CsrMatrix,
@@ -151,12 +232,12 @@ struct Kernel {
     exit: Vec<f64>,
     /// Largest exit rate (the residual/tolerance scale).
     q_max: f64,
-    pool: WorkPool,
+    exec: ParExec<'a>,
     block_len: usize,
 }
 
-impl Kernel {
-    fn new(ctmc: &Ctmc, options: &SparseSteadyOptions) -> Self {
+impl<'a> Kernel<'a> {
+    fn new(ctmc: &Ctmc, exec: ParExec<'a>, options: &SparseSteadyOptions) -> Self {
         let qt = ctmc.generator().transpose();
         let n = qt.nrows();
         let mut exit = vec![0.0_f64; n];
@@ -164,18 +245,11 @@ impl Kernel {
             *e = -qt.get(i, i);
         }
         let q_max = exit.iter().fold(0.0_f64, |m, &e| m.max(e));
-        let workers = if n < options.parallel_threshold {
-            1
-        } else if options.workers == 0 {
-            mapqn_par::available_parallelism()
-        } else {
-            options.workers
-        };
         Self {
             qt,
             exit,
             q_max,
-            pool: WorkPool::new(workers),
+            exec,
             block_len: options.block_len.max(1),
         }
     }
@@ -183,7 +257,7 @@ impl Kernel {
     /// Residual `‖xQ‖_∞` of a candidate vector, using `scratch` as the
     /// product buffer.
     fn residual(&self, x: &[f64], scratch: &mut [f64]) -> f64 {
-        par_left_mul(&self.pool, &self.qt, self.block_len, x, scratch);
+        par_left_mul(&self.exec, &self.qt, self.block_len, x, scratch);
         scratch.iter().fold(0.0_f64, |m, r| m.max(r.abs()))
     }
 
@@ -199,7 +273,7 @@ impl Kernel {
         let ci = self.qt.col_indices();
         let vals = self.qt.values();
         let exit = &self.exit;
-        self.pool.for_each_chunk(x_new, self.block_len, |start, chunk| {
+        self.exec.for_each_chunk(x_new, self.block_len, |start, chunk| {
             for bi in 0..chunk.len() {
                 let i = start + bi;
                 let mut s = 0.0;
@@ -226,14 +300,14 @@ impl Kernel {
     /// through [`Kernel::jacobi_candidate`]. `z` is scratch for `w D^{-1}`.
     fn jacobi_power_step(&self, margin: f64, w_old: &[f64], z: &mut [f64], w_new: &mut [f64]) {
         let exit = &self.exit;
-        self.pool.for_each_chunk(z, self.block_len, |start, chunk| {
+        self.exec.for_each_chunk(z, self.block_len, |start, chunk| {
             for (bi, zi) in chunk.iter_mut().enumerate() {
                 let i = start + bi;
                 *zi = w_old[i] / (exit[i] * (1.0 + margin));
             }
         });
-        par_left_mul(&self.pool, &self.qt, self.block_len, z, w_new);
-        self.pool.for_each_chunk(w_new, self.block_len, |start, chunk| {
+        par_left_mul(&self.exec, &self.qt, self.block_len, z, w_new);
+        self.exec.for_each_chunk(w_new, self.block_len, |start, chunk| {
             for (bi, wi) in chunk.iter_mut().enumerate() {
                 *wi += w_old[start + bi];
             }
@@ -244,7 +318,7 @@ impl Kernel {
     /// `π ∝ w D^{-1}` (the margin cancels in the normalization).
     fn jacobi_candidate(&self, w: &[f64], pi: &mut [f64]) {
         let exit = &self.exit;
-        self.pool.for_each_chunk(pi, self.block_len, |start, chunk| {
+        self.exec.for_each_chunk(pi, self.block_len, |start, chunk| {
             for (bi, p) in chunk.iter_mut().enumerate() {
                 let i = start + bi;
                 *p = w[i] / exit[i];
@@ -255,8 +329,8 @@ impl Kernel {
 
     /// One globally uniformized power step `x ← x (I + Q/q)`.
     fn uniformized_power_step(&self, q: f64, x_old: &[f64], x_new: &mut [f64]) {
-        par_left_mul(&self.pool, &self.qt, self.block_len, x_old, x_new);
-        self.pool.for_each_chunk(x_new, self.block_len, |start, chunk| {
+        par_left_mul(&self.exec, &self.qt, self.block_len, x_old, x_new);
+        self.exec.for_each_chunk(x_new, self.block_len, |start, chunk| {
             for (bi, xi) in chunk.iter_mut().enumerate() {
                 *xi = x_old[start + bi] + *xi / q;
             }
@@ -296,8 +370,7 @@ pub fn stationary_sparse(ctmc: &Ctmc, options: &SparseSteadyOptions) -> Result<S
             used: options.preconditioner,
         });
     }
-    let kernel = Kernel::new(ctmc, options);
-    if kernel.q_max == 0.0 {
+    if ctmc.max_exit_rate() == 0.0 {
         // All-zero generator: every distribution is stationary; return the
         // uniform one (matching the dense path's behaviour on such chains).
         return Ok(SparseSteadyReport {
@@ -307,6 +380,39 @@ pub fn stationary_sparse(ctmc: &Ctmc, options: &SparseSteadyOptions) -> Result<S
             used: options.preconditioner,
         });
     }
+    // Per-round work of this chain is one scan of the generator (every
+    // sweep, matvec and residual touches each nonzero once); the worker
+    // decision therefore keys on the nonzero count, not the state count.
+    // Clamped to the number of row blocks a round actually has — a worker
+    // beyond that could never claim a chunk, yet every round's quiesce
+    // would still wait for it to wake and decrement.
+    let row_blocks = n.div_ceil(options.block_len.max(1));
+    let workers = effective_workers(
+        ctmc.generator().nnz(),
+        options.parallel_threshold,
+        options.workers,
+    )
+    .min(row_blocks.max(1));
+    match options.spawn_mode {
+        SpawnMode::Persistent => {
+            // The tentpole: one pool spans the whole solve, so every one of
+            // the (often thousands of) sweep rounds reuses the same parked
+            // workers instead of spawning fresh threads.
+            WorkPool::new(workers).scoped(|pool| {
+                solve_on(Kernel::new(ctmc, ParExec::Persistent(pool), options), options)
+            })
+        }
+        SpawnMode::PerCall => solve_on(
+            Kernel::new(ctmc, ParExec::PerCall(WorkPool::new(workers)), options),
+            options,
+        ),
+    }
+}
+
+/// The solve body, generic over the round executor: the fallback ladder of
+/// preconditioned sweep loops described in the module docs.
+fn solve_on(kernel: Kernel<'_>, options: &SparseSteadyOptions) -> Result<SparseSteadyReport> {
+    let n = kernel.qt.nrows();
     let target = options.tolerance * kernel.q_max;
     let check_every = options.check_every.max(1);
     // Gauss–Seidel and Jacobi divide by per-state exit rates; a state with
@@ -372,6 +478,11 @@ pub fn stationary_sparse(ctmc: &Ctmc, options: &SparseSteadyOptions) -> Result<S
         let mut decreasing_streak = 0usize;
         let mut aitken_enabled = engine == SparsePreconditioner::GaussSeidel;
         let mut adopted_residual = f64::NAN;
+        // Divergence-predictor state: the length of the current run of
+        // consecutive residual-*growth* checks and the residual at the
+        // start of that run (see the bail commentary below).
+        let mut growth_streak = 0usize;
+        let mut streak_start = f64::NAN;
 
         // Converts an iterate into a probability candidate and measures its
         // residual (the Jacobi path iterates in `w = π D` space).
@@ -404,6 +515,11 @@ pub fn stationary_sparse(ctmc: &Ctmc, options: &SparseSteadyOptions) -> Result<S
             if sweep % check_every == 0 || sweep == attempt_budget {
                 let mut residual = measure(&x, &mut candidate, &mut scratch);
                 last_residual = residual;
+                if sparse_debug() {
+                    eprintln!(
+                        "[sparse] rung {attempt_idx} {engine:?} omega {omega:.2} sweep {sweep}: residual {residual:.3e} best {best_residual:.3e}"
+                    );
+                }
                 if !residual.is_finite() {
                     break; // numerical blow-up: fall back to the next engine
                 }
@@ -442,7 +558,7 @@ pub fn stationary_sparse(ctmc: &Ctmc, options: &SparseSteadyOptions) -> Result<S
                     {
                         let factor = (rho / (1.0 - rho)).min(2e4);
                         kernel
-                            .pool
+                            .exec
                             .for_each_chunk(&mut x_next, kernel.block_len, |start, chunk| {
                                 for (bi, v) in chunk.iter_mut().enumerate() {
                                     let i = start + bi;
@@ -502,6 +618,46 @@ pub fn stationary_sparse(ctmc: &Ctmc, options: &SparseSteadyOptions) -> Result<S
                 // case-study family) long before they waste the budget.
                 if residual > 1e3 * best_residual {
                     break;
+                }
+                // Divergence *predictor*: bail a rung before the 1e3x line
+                // when the residual has grown for many consecutive checks
+                // AND the cumulative growth of that one monotone run is far
+                // beyond what any benign transient can produce. Calibration
+                // (MAPQN_SPARSE_DEBUG traces on the validation models): the
+                // largest *monotone* growth run of any converging rung is
+                // 31 checks x 13.3x total (the TPC-W hump — the documented
+                // ~300x-above-best excursions accumulate through interrupted
+                // runs, which reset the streak, never through one monotone
+                // climb); genuinely divergent Gauss-Seidel on the figure-5
+                // SCV=4 family (N >= ~80) rides a single accelerating run
+                // through 1,700x-27,000x. Requiring a sustained run (>= 8
+                // checks) at >= 32x its own start — 2.4x above the benign
+                // ceiling — and >= 32x the attempt's best is therefore
+                // already *on* the 1e3x-bail trajectory, just earlier on
+                // it; this is a trajectory test, not the windowed stall
+                // detector the module history warns about (slow progress,
+                // plateaus and bounded oscillation all reset or cap the
+                // streak and are still left to the sweep budget).
+                if residual > prev_residual {
+                    if growth_streak == 0 {
+                        streak_start = prev_residual;
+                    }
+                    growth_streak += 1;
+                    if growth_streak >= 8
+                        && residual >= 32.0 * streak_start
+                        && residual >= 32.0 * best_residual
+                    {
+                        if sparse_debug() {
+                            eprintln!(
+                                "[sparse] rung {attempt_idx} {engine:?}: predicted divergence at sweep {sweep} (streak {growth_streak}, {:.0}x start, {:.0}x best)",
+                                residual / streak_start,
+                                residual / best_residual
+                            );
+                        }
+                        break;
+                    }
+                } else {
+                    growth_streak = 0;
                 }
                 if engine == SparsePreconditioner::Jacobi
                     && residual > 0.999 * best_residual
@@ -582,6 +738,76 @@ mod tests {
                 "workers = {workers} must reproduce the serial bits"
             );
             assert_eq!(serial.sweeps, parallel.sweeps);
+        }
+    }
+
+    #[test]
+    fn tiny_chains_are_bitwise_invariant_on_the_forced_parallel_path() {
+        // With the work threshold at 0 even a 40-state chain runs its
+        // rounds through real parked workers (block_len 8 → 5 chunks per
+        // round). The persistent handshake must not perturb a single bit
+        // relative to the serial loop at any worker count — this is the
+        // regime the old 100k-state spawn gate never let near a thread.
+        let ctmc = birth_death(40, 2.0, 2.5);
+        let base = SparseSteadyOptions {
+            block_len: 8,
+            parallel_threshold: 0,
+            ..SparseSteadyOptions::default()
+        };
+        let serial =
+            stationary_sparse(&ctmc, &SparseSteadyOptions { workers: 1, ..base }).unwrap();
+        for workers in [2, 3, 8] {
+            let parallel =
+                stationary_sparse(&ctmc, &SparseSteadyOptions { workers, ..base }).unwrap();
+            assert_eq!(
+                serial.pi.as_slice(),
+                parallel.pi.as_slice(),
+                "workers = {workers} must reproduce the serial bits on a tiny chain"
+            );
+            assert_eq!(serial.sweeps, parallel.sweeps);
+        }
+        // The per-call-spawn baseline is bit-identical too (same chunk
+        // boundaries, different thread acquisition).
+        let percall = stationary_sparse(
+            &ctmc,
+            &SparseSteadyOptions {
+                workers: 3,
+                spawn_mode: SpawnMode::PerCall,
+                ..base
+            },
+        )
+        .unwrap();
+        assert_eq!(serial.pi.as_slice(), percall.pi.as_slice());
+    }
+
+    #[test]
+    fn nested_ensemble_shaped_outer_pool_over_sparse_solves() {
+        // The ensemble layer maps coarse jobs across one pool while each
+        // job drives the sparse engine's own persistent pool inside it.
+        // Reproduce that nesting with the real engine: an outer scoped map
+        // whose every job runs a forced-parallel sparse solve. Must not
+        // deadlock, and every job must reproduce the serial bits.
+        let ctmc = birth_death(120, 1.5, 2.0);
+        let opts = SparseSteadyOptions {
+            block_len: 16,
+            parallel_threshold: 0,
+            workers: 2,
+            ..SparseSteadyOptions::default()
+        };
+        let reference = stationary_sparse(
+            &ctmc,
+            &SparseSteadyOptions {
+                workers: 1,
+                ..opts
+            },
+        )
+        .unwrap();
+        let jobs = [0usize, 1, 2];
+        let results = mapqn_par::WorkPool::new(3).scoped(|pool| {
+            pool.map(&jobs, |_, _| stationary_sparse(&ctmc, &opts).unwrap().pi)
+        });
+        for pi in results {
+            assert_eq!(reference.pi.as_slice(), pi.as_slice());
         }
     }
 

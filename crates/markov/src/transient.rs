@@ -11,7 +11,7 @@
 //! cumulative Poisson weight is close enough to one.
 
 use crate::ctmc::Ctmc;
-use crate::sparse_steady::par_left_mul;
+use crate::sparse_steady::{effective_workers, par_left_mul, ParExec};
 use crate::{MarkovError, Result};
 use mapqn_linalg::DVector;
 use mapqn_par::WorkPool;
@@ -24,11 +24,18 @@ pub struct TransientOptions {
     /// Hard cap on the number of accumulated terms (default `1_000_000`).
     pub max_terms: usize,
     /// Worker threads for the per-term sparse matvec (0 = one per available
-    /// core). The products are row-block parallel with fixed block
+    /// core, or the `MAPQN_POOL_THREADS` override). The workers are spawned
+    /// once for the whole accumulation (persistent pool, parked between
+    /// terms) and every product is row-block parallel with fixed block
     /// boundaries, so results are bitwise worker-count invariant.
     pub workers: usize,
     /// Row-block length of the parallel matvec.
     pub block_len: usize,
+    /// Minimum per-term work (transition-matrix nonzeros) before worker
+    /// threads are spawned at all; small chains run serially on the
+    /// caller's thread. Same unit and default as
+    /// [`crate::sparse_steady::SparseSteadyOptions::parallel_threshold`].
+    pub parallel_threshold: usize,
 }
 
 impl Default for TransientOptions {
@@ -38,6 +45,7 @@ impl Default for TransientOptions {
             max_terms: 1_000_000,
             workers: 0,
             block_len: 4096,
+            parallel_threshold: 8_192,
         }
     }
 }
@@ -86,65 +94,72 @@ pub fn transient_distribution(
     // matrix memory, which matters at the 10^6+-state scale.
     let pt = p.transpose();
     drop(p);
-    let pool = WorkPool::new(if options.workers == 0 {
-        mapqn_par::available_parallelism()
-    } else {
-        options.workers
-    });
     let block_len = options.block_len.max(1);
-    let mut term_next = vec![0.0_f64; n];
+    // Same clamp as the stationary engine: never hold workers a round's
+    // chunk count cannot feed.
+    let workers = effective_workers(pt.nnz(), options.parallel_threshold, options.workers)
+        .min(n.div_ceil(block_len).max(1));
 
-    let mut weight = (-lambda).exp();
-    // For large lambda, exp(-lambda) underflows; start accumulating at the
-    // mode instead by scaling in log space. A simple and robust alternative
-    // used here: if the starting weight underflows, renormalize the weights
-    // on the fly (steady accumulation of the Poisson pmf via recurrence is
-    // stable once started from a representable value).
-    let mut accumulated = DVector::zeros(n);
-    let mut term_vec = initial.clone();
-    let mut cumulative = 0.0;
+    // One persistent pool spans the whole Poisson accumulation: the series
+    // runs hundreds-to-thousands of matvec terms, each far too short to
+    // amortize a per-term thread spawn (the pre-persistent design), but
+    // trivially amortizing a parked-worker wake/quiesce round.
+    WorkPool::new(workers).scoped(|pool| {
+        let exec = ParExec::Persistent(pool);
+        let mut term_next = vec![0.0_f64; n];
 
-    if weight > 0.0 {
-        accumulated.axpy(weight, &term_vec)?;
-        cumulative += weight;
-    }
+        let mut weight = (-lambda).exp();
+        // For large lambda, exp(-lambda) underflows; start accumulating at the
+        // mode instead by scaling in log space. A simple and robust alternative
+        // used here: if the starting weight underflows, renormalize the weights
+        // on the fly (steady accumulation of the Poisson pmf via recurrence is
+        // stable once started from a representable value).
+        let mut accumulated = DVector::zeros(n);
+        let mut term_vec = initial.clone();
+        let mut cumulative = 0.0;
 
-    let mut k = 0usize;
-    while cumulative < 1.0 - options.truncation_error {
-        k += 1;
-        if k > options.max_terms {
-            return Err(MarkovError::NoConvergence {
-                iterations: k,
-                residual: 1.0 - cumulative,
-            });
-        }
-        par_left_mul(&pool, &pt, block_len, term_vec.as_slice(), &mut term_next);
-        term_vec.as_mut_slice().copy_from_slice(&term_next);
-        if weight > 0.0 {
-            weight *= lambda / k as f64;
-        } else {
-            // Underflow start-up: once k reaches the neighbourhood of the
-            // mode, approximate the pmf with the (stable) normal kernel and
-            // switch to the recurrence from there.
-            if (k as f64) >= lambda - 5.0 * lambda.sqrt() {
-                let kf = k as f64;
-                // Stirling-based log pmf.
-                let log_pmf = -lambda + kf * lambda.ln()
-                    - (kf * kf.ln() - kf + 0.5 * (2.0 * std::f64::consts::PI * kf).ln());
-                weight = log_pmf.exp();
-            }
-        }
         if weight > 0.0 {
             accumulated.axpy(weight, &term_vec)?;
             cumulative += weight;
         }
-    }
 
-    // Guard against the tiny mass lost to truncation / underflow.
-    let mut result = accumulated;
-    result.clamp_small_negatives(1e-15);
-    let _ = result.normalize_sum();
-    Ok(result)
+        let mut k = 0usize;
+        while cumulative < 1.0 - options.truncation_error {
+            k += 1;
+            if k > options.max_terms {
+                return Err(MarkovError::NoConvergence {
+                    iterations: k,
+                    residual: 1.0 - cumulative,
+                });
+            }
+            par_left_mul(&exec, &pt, block_len, term_vec.as_slice(), &mut term_next);
+            term_vec.as_mut_slice().copy_from_slice(&term_next);
+            if weight > 0.0 {
+                weight *= lambda / k as f64;
+            } else {
+                // Underflow start-up: once k reaches the neighbourhood of the
+                // mode, approximate the pmf with the (stable) normal kernel and
+                // switch to the recurrence from there.
+                if (k as f64) >= lambda - 5.0 * lambda.sqrt() {
+                    let kf = k as f64;
+                    // Stirling-based log pmf.
+                    let log_pmf = -lambda + kf * lambda.ln()
+                        - (kf * kf.ln() - kf + 0.5 * (2.0 * std::f64::consts::PI * kf).ln());
+                    weight = log_pmf.exp();
+                }
+            }
+            if weight > 0.0 {
+                accumulated.axpy(weight, &term_vec)?;
+                cumulative += weight;
+            }
+        }
+
+        // Guard against the tiny mass lost to truncation / underflow.
+        let mut result = accumulated;
+        result.clamp_small_negatives(1e-15);
+        let _ = result.normalize_sum();
+        Ok(result)
+    })
 }
 
 #[cfg(test)]

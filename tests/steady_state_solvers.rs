@@ -119,6 +119,46 @@ proptest! {
     }
 }
 
+/// Fallback-ladder regression on the figure-5 SCV=4 family, the documented
+/// plain-Gauss–Seidel divergence case (ROADMAP): from N ≈ 80 the GS rung
+/// diverges, and the divergence *predictor* (sustained consecutive-growth
+/// checks far beyond any benign transient hump) must abandon it within a
+/// bounded number of sweeps instead of creeping through the rung's
+/// quarter-budget slice. Under this budget the Jacobi rung exhausts its
+/// slice too, so the test pins the whole ladder walk: the solve lands on
+/// the uniformized-power rung, within a total sweep bound.
+///
+/// Measured behaviour (release, this configuration): GS bails at ~3.1k
+/// sweeps (predicted divergence at 555× the attempt's best), Jacobi burns
+/// its 15k slice, power converges — 48,104 sweeps total. A regressed GS
+/// bail that creeps to its full 15k slice would push the total past 60k,
+/// well beyond the asserted bound.
+#[test]
+fn scv4_ladder_reaches_power_rung_in_bounded_sweeps() {
+    use mapqn::core::statespace::build_state_space;
+    use mapqn::core::templates::figure5_network;
+
+    let network = figure5_network(80, 4.0, 0.5).unwrap();
+    let space = build_state_space(&network, 10_000_000).unwrap();
+    let options = SparseSteadyOptions {
+        max_sweeps: 60_000,
+        ..SparseSteadyOptions::default()
+    };
+    let report = stationary_sparse(space.ctmc(), &options).unwrap();
+    assert_eq!(
+        report.used,
+        SparsePreconditioner::Power,
+        "expected the ladder to retreat to the power rung, got {:?}",
+        report.used
+    );
+    assert!(
+        report.sweeps <= 52_000,
+        "ladder took {} sweeps (bound 52,000): the GS divergence bail has regressed",
+        report.sweeps
+    );
+    assert!(report.residual <= options.tolerance * space.ctmc().max_exit_rate());
+}
+
 /// The sparse engine's stationary vector satisfies the residual bound it
 /// reports, measured independently.
 #[test]
