@@ -25,6 +25,7 @@ use mapqn_core::bounds::{BoundOptions, NetworkBounds};
 use mapqn_core::random_models::{random_model, RandomModelSpec};
 use mapqn_core::templates::figure5_network;
 use mapqn_core::MarginalBoundSolver;
+use mapqn_linalg::SolveBudget;
 use mapqn_lp::{SimplexEngine, SimplexOptions};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -189,9 +190,11 @@ fn main() {
     // Large-N cold profile on the Figure 8 case study (SCV=16): per-phase
     // wall-clock of a cold bound_all near the top of the cold-solvable
     // range. The cold path breaks down sharply just above it — at N = 50
-    // the revised engine gives up and the dense oracle cycles into its
-    // 500k-iteration limit — so the profiled points stay below the cliff
-    // and the breakdown itself is recorded as data (ROADMAP open item).
+    // the revised engine historically gave up and the dense oracle cycled
+    // into its 500k-iteration limit — so the profiled points stay below
+    // the cliff; the cliff itself is exercised by the always-answer gate
+    // below, which budgets the solve and lets the degradation ladder
+    // answer it.
     let profile_populations: Vec<usize> = scale.pick(vec![40, 44], vec![40, 44, 48]);
     struct ColdProfile {
         population: usize,
@@ -236,6 +239,47 @@ fn main() {
     }
     profile_table.print();
     let profile_fallbacks: usize = profiles.iter().map(|p| p.dense_fallbacks).sum();
+
+    // Always-answer gate at the breakdown cliff: cold bound_all at N = 50 —
+    // the population where the revised engine historically gave up and the
+    // dense oracle cycled for minutes — must now come back within a 30 s
+    // budget with valid, quality-tagged bounds (degradation ladder), never
+    // an error. This is the acceptance gate for the robustness layer.
+    let cliff_population = 50;
+    let cliff_budget = std::time::Duration::from_secs(30);
+    let network = figure5_network(cliff_population, 16.0, 0.5).expect("figure8 network");
+    let options = BoundOptions {
+        budget: SolveBudget::wall_clock(cliff_budget),
+        ..BoundOptions::default()
+    };
+    let start = Instant::now();
+    let cliff_outcome =
+        MarginalBoundSolver::with_options(&network, options).and_then(|mut s| s.bound_all());
+    let cliff_ms = start.elapsed().as_secs_f64() * 1e3;
+    let (cliff_ok, cliff_quality, cliff_degraded) = match &cliff_outcome {
+        Ok(bounds) => {
+            let finite = bounds.system_throughput.lower.is_finite()
+                && bounds.system_throughput.upper.is_finite()
+                && bounds.system_throughput.lower <= bounds.system_throughput.upper
+                && bounds.system_throughput.upper > 0.0;
+            (
+                finite,
+                bounds.quality.to_string(),
+                bounds.diagnostics.degraded(),
+            )
+        }
+        Err(e) => {
+            eprintln!("fig8 N={cliff_population} cold bound_all errored: {e}");
+            (false, "error".to_string(), false)
+        }
+    };
+    println!(
+        "\nFigure 8 N={cliff_population} always-answer gate: {} in {:.1} ms \
+         (quality: {cliff_quality}, degraded: {cliff_degraded}, budget {:.0} s)",
+        if cliff_ok { "answered" } else { "FAILED" },
+        cliff_ms,
+        cliff_budget.as_secs_f64()
+    );
 
     // Emit BENCH_lp.json (hand-rolled JSON; no serde in the offline set).
     let mut json = String::from("{\n");
@@ -298,7 +342,12 @@ fn main() {
             if i + 1 < profiles.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"fig8_always_answer\": {{\"population\": {cliff_population}, \"budget_s\": {:.0}, \"elapsed_ms\": {cliff_ms:.3}, \"quality\": \"{cliff_quality}\", \"degraded\": {cliff_degraded}, \"answered\": {cliff_ok}}}\n",
+        cliff_budget.as_secs_f64()
+    ));
+    json.push_str("}\n");
     std::fs::write("BENCH_lp.json", &json).expect("write BENCH_lp.json");
     println!("\nwrote BENCH_lp.json");
 
@@ -325,6 +374,22 @@ fn main() {
     if profile_fallbacks > 0 {
         eprintln!(
             "FAIL: {profile_fallbacks} dense fallbacks in the fig8 cold profile (cold breakdown moved below the profiled N range)"
+        );
+        std::process::exit(1);
+    }
+    // Always-answer acceptance gate: N = 50 answers within the budget with
+    // a tagged quality — never an error, never a hang.
+    if !cliff_ok {
+        eprintln!(
+            "FAIL: fig8 N={cliff_population} cold bound_all did not produce valid bounds within the {:.0} s budget",
+            cliff_budget.as_secs_f64()
+        );
+        std::process::exit(1);
+    }
+    if cliff_ms > cliff_budget.as_secs_f64() * 1e3 * 1.5 {
+        eprintln!(
+            "FAIL: fig8 N={cliff_population} cold bound_all overran its budget ({cliff_ms:.0} ms against {:.0} s + slack)",
+            cliff_budget.as_secs_f64()
         );
         std::process::exit(1);
     }

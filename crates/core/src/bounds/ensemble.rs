@@ -52,7 +52,8 @@
 use super::marginal::{BoundOptions, NetworkBounds};
 use super::sweep::{PopulationSweep, SweepStats};
 use crate::network::ClosedNetwork;
-use crate::Result;
+use crate::{CoreError, Result};
+use mapqn_faults::FaultSite;
 use mapqn_par::WorkPool;
 
 /// One independent bound study: a network solved at a list of populations
@@ -139,6 +140,50 @@ pub struct EnsembleReport {
     pub stats: EnsembleStats,
 }
 
+/// One scenario's failure in a partial ensemble run: the scenario's label
+/// and job index plus the structured error, so batch post-mortems never
+/// have to guess which input broke.
+#[derive(Debug, Clone)]
+pub struct ScenarioFailure {
+    /// Label copied from the failing [`Scenario`].
+    pub label: String,
+    /// Job index of the failing scenario in the submitted batch.
+    pub job: usize,
+    /// What went wrong.
+    pub error: CoreError,
+}
+
+impl std::fmt::Display for ScenarioFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "scenario '{}' (job {}) failed: {}", self.label, self.job, self.error)
+    }
+}
+
+/// The outcome of [`EnsembleRunner::run_partial`]: per-scenario results
+/// *or* failures, in scenario order, plus the merged counters of the
+/// scenarios that succeeded. A failing scenario never disturbs the others
+/// — their results are bitwise identical to a fault-free run's.
+#[derive(Debug, Clone)]
+pub struct PartialEnsembleReport {
+    /// `outcomes[i]` corresponds to `scenarios[i]` of the submitted batch,
+    /// independent of scheduling.
+    pub outcomes: Vec<std::result::Result<ScenarioResult, ScenarioFailure>>,
+    /// Counters merged, in job order, over the successful scenarios only.
+    pub stats: EnsembleStats,
+}
+
+impl PartialEnsembleReport {
+    /// The successful scenarios' results, in job order.
+    pub fn successes(&self) -> impl Iterator<Item = &ScenarioResult> {
+        self.outcomes.iter().filter_map(|o| o.as_ref().ok())
+    }
+
+    /// The failed scenarios, in job order.
+    pub fn failures(&self) -> impl Iterator<Item = &ScenarioFailure> {
+        self.outcomes.iter().filter_map(|o| o.as_ref().err())
+    }
+}
+
 /// Runs independent scenarios across a scoped-thread work pool
 /// (`mapqn_par`), one [`PopulationSweep`] per job, with per-job solver
 /// instances and deterministic, order-independent result assembly (see the
@@ -210,31 +255,83 @@ impl EnsembleRunner {
 
     /// Solves every scenario and assembles the results in scenario order.
     ///
+    /// All scenarios always run to completion (the pool has no
+    /// cancellation — jobs are too coarse for it to pay off). If any
+    /// failed, the error returned is the **lowest-job-index** failure —
+    /// not the first by completion order, so even the error behaviour is
+    /// deterministic — wrapped as [`CoreError::Scenario`] with the failing
+    /// scenario's label and job index. Callers that want the surviving
+    /// scenarios' results alongside the failures should use
+    /// [`EnsembleRunner::run_partial`] instead.
+    ///
     /// # Errors
-    /// Propagates the first failing scenario's error **by job index** (not
-    /// by completion order), so even the error behaviour is deterministic;
-    /// the remaining scenarios still ran (the pool has no cancellation —
-    /// jobs are too coarse for it to pay off).
+    /// [`CoreError::Scenario`] for the lowest-job-index failing scenario.
     pub fn run(&self, scenarios: &[Scenario]) -> Result<EnsembleReport> {
+        let partial = self.run_partial(scenarios);
+        let mut results = Vec::with_capacity(partial.outcomes.len());
+        for outcome in partial.outcomes {
+            match outcome {
+                Ok(result) => results.push(result),
+                Err(failure) => {
+                    return Err(CoreError::Scenario {
+                        label: failure.label,
+                        job: failure.job,
+                        source: Box::new(failure.error),
+                    })
+                }
+            }
+        }
+        Ok(EnsembleReport {
+            results,
+            stats: partial.stats,
+        })
+    }
+
+    /// Like [`EnsembleRunner::run`], but failures are returned **per
+    /// scenario** instead of killing the whole batch: `outcomes[i]` is
+    /// job `i`'s result or its [`ScenarioFailure`], in job order.
+    ///
+    /// The determinism contract extends to partial results: which
+    /// scenarios fail, and every surviving scenario's bounds, are
+    /// bit-for-bit independent of the worker count and scheduling order —
+    /// a failing scenario's job index salts only its own solve, so its
+    /// neighbours' results are bitwise identical to a fully fault-free
+    /// run's.
+    pub fn run_partial(&self, scenarios: &[Scenario]) -> PartialEnsembleReport {
         // One pool for the whole batch: `WorkPool::map` clamps the width
         // to the job count and runs the batch as a single round of a
         // scoped (spawn-once) pool — the right shape for coarse jobs.
-        let outcomes: Vec<Result<ScenarioResult>> = self
+        let raw: Vec<Result<ScenarioResult>> = self
             .pool
             .map(scenarios, |job, scenario| self.run_one(job, scenario));
-        let mut results = Vec::with_capacity(outcomes.len());
+        let mut outcomes = Vec::with_capacity(raw.len());
         let mut stats = EnsembleStats::default();
-        for outcome in outcomes {
-            let result = outcome?;
-            stats.absorb(result.sweep_stats);
-            results.push(result);
+        for (job, outcome) in raw.into_iter().enumerate() {
+            match outcome {
+                Ok(result) => {
+                    stats.absorb(result.sweep_stats);
+                    outcomes.push(Ok(result));
+                }
+                Err(error) => outcomes.push(Err(ScenarioFailure {
+                    label: scenarios[job].label.clone(),
+                    job,
+                    error,
+                })),
+            }
         }
-        Ok(EnsembleReport { results, stats })
+        PartialEnsembleReport { outcomes, stats }
     }
 
     /// One job: a fresh sweep over the scenario's populations, entirely
-    /// owned by the calling worker.
+    /// owned by the calling worker. The `ensemble-scenario` fault site is
+    /// keyed by the **job index** (not an occurrence counter), so an
+    /// injected failure hits the same scenario at any worker count.
     fn run_one(&self, job: usize, scenario: &Scenario) -> Result<ScenarioResult> {
+        if mapqn_faults::fire_keyed(FaultSite::EnsembleScenario, job as u64) {
+            return Err(CoreError::Injected {
+                site: FaultSite::EnsembleScenario.name(),
+            });
+        }
         let mut sweep =
             PopulationSweep::with_options(&scenario.network, self.scenario_options(job))?;
         let mut bounds = Vec::with_capacity(scenario.populations.len());
@@ -368,6 +465,23 @@ mod tests {
         .unwrap();
         let mut scenarios = small_scenarios();
         scenarios.insert(1, Scenario::new("bad", delay_net, [1, 2]));
-        assert!(EnsembleRunner::new().run(&scenarios).is_err());
+        // The batch error is attributable: it names the failing scenario's
+        // label and job index, wrapped around the underlying cause.
+        let err = EnsembleRunner::new().run(&scenarios).unwrap_err();
+        match &err {
+            CoreError::Scenario { label, job, source } => {
+                assert_eq!(label, "bad");
+                assert_eq!(*job, 1);
+                assert!(matches!(**source, CoreError::Unsupported(_)));
+            }
+            other => panic!("expected CoreError::Scenario, got {other:?}"),
+        }
+        // run_partial keeps the other scenarios' results.
+        let partial = EnsembleRunner::new().run_partial(&scenarios);
+        assert_eq!(partial.outcomes.len(), 5);
+        assert_eq!(partial.successes().count(), 4);
+        let failure = partial.failures().next().unwrap();
+        assert_eq!(failure.job, 1);
+        assert_eq!(failure.label, "bad");
     }
 }

@@ -45,11 +45,14 @@
 //! would require occupancy-weighted marginal terms (a straightforward but
 //! larger extension noted in docs/ARCHITECTURE.md).
 
+use super::robust::{self, Quality, SolveDiagnostics};
 use super::{BoundInterval, PerformanceIndex};
 use crate::network::ClosedNetwork;
 use crate::{CoreError, Result};
+use mapqn_linalg::SolveBudget;
 use mapqn_lp::{
-    Basis, LpProblem, LpSolution, LpStatus, RevisedSimplex, Sense, SimplexEngine, SimplexOptions,
+    Basis, LpError, LpProblem, LpSolution, LpStatus, RevisedSimplex, Sense, SimplexEngine,
+    SimplexOptions,
 };
 
 /// Which optional constraint families to include (the mandatory ones —
@@ -64,6 +67,11 @@ pub struct BoundOptions {
     pub include_structural: bool,
     /// Options forwarded to the simplex solver.
     pub simplex: SimplexOptions,
+    /// Cooperative solve budget for a whole `bound_all` (all objectives,
+    /// both senses). Anchored at solve entry and threaded into the simplex
+    /// engines; on exhaustion the degradation ladder takes over instead of
+    /// surfacing an error. The default is unlimited.
+    pub budget: SolveBudget,
 }
 
 impl Default for BoundOptions {
@@ -73,6 +81,7 @@ impl Default for BoundOptions {
             include_phase_balance: true,
             include_structural: true,
             simplex: SimplexOptions::default(),
+            budget: SolveBudget::unlimited(),
         }
     }
 }
@@ -93,6 +102,12 @@ pub struct NetworkBounds {
     pub system_response_time: BoundInterval,
     /// Population the bounds refer to.
     pub population: usize,
+    /// Provenance of these bounds: which rung of the degradation ladder
+    /// produced them (see [`Quality`]).
+    pub quality: Quality,
+    /// Structured record of how the solve went: ladder attempts, the budget
+    /// that governed them and the wall clock consumed.
+    pub diagnostics: SolveDiagnostics,
 }
 
 /// Variable indexing of the bound LP.
@@ -689,9 +704,32 @@ impl MarginalBoundSolver {
     /// where the two functionals coincide).
     ///
     /// # Errors
-    /// Propagates LP failures.
+    /// Only construction-grade failures surface: solve failures (budget
+    /// exhaustion, numerical breakdown) are absorbed by the degradation
+    /// ladder (see [`super::robust`]), which falls back to a salted
+    /// re-solve, a self-seeded population bootstrap and finally the
+    /// algebraic asymptotic floor — the returned
+    /// [`NetworkBounds::quality`] records which rung answered.
     pub fn bound_all(&mut self) -> Result<NetworkBounds> {
-        self.bound_all_seeded(&[])
+        let start = std::time::Instant::now();
+        let full = self.options.budget;
+        // The direct solve gets a slice of the wall clock, not all of it:
+        // when *it* is the slow thing, the fallback rungs still need time.
+        self.options.budget = full.scale_wall_clock(robust::DIRECT_SLICE);
+        let attempt = self.bound_all_seeded(&[]);
+        self.options.budget = full;
+        match attempt {
+            Ok(mut bounds) => {
+                bounds.diagnostics.budget = full;
+                bounds.diagnostics.consumed = start.elapsed();
+                Ok(bounds)
+            }
+            Err(err) if robust::ladder_eligible(&err) => {
+                let network = self.network.clone();
+                robust::run_ladder(&network, self.options, err, start)
+            }
+            Err(err) => Err(err),
+        }
     }
 
     /// [`MarginalBoundSolver::bound_all`] with optional cross-population
@@ -718,6 +756,16 @@ impl MarginalBoundSolver {
     /// # Errors
     /// Propagates LP failures.
     pub fn bound_all_seeded(&mut self, seeds: &[Option<Basis>]) -> Result<NetworkBounds> {
+        // Anchor the declarative budget for this whole solve: every engine
+        // call below shares one absolute deadline through the simplex
+        // options. Re-anchored on every entry, so repeated solves each get
+        // the full allowance.
+        if !self.options.budget.is_unlimited() {
+            self.options.simplex.budget = self
+                .options
+                .budget
+                .engine_budget(std::time::Instant::now());
+        }
         let m = self.layout.m;
         let n = self.layout.population;
         let indices = self.canonical_indices();
@@ -774,6 +822,8 @@ impl MarginalBoundSolver {
             system_throughput,
             system_response_time,
             population: n,
+            quality: Quality::Certified,
+            diagnostics: SolveDiagnostics::default(),
         })
     }
 
@@ -798,7 +848,13 @@ impl MarginalBoundSolver {
         let seed = seeds.get(slot).and_then(Option::as_ref);
         let terms = self.objective_terms(indices[i]);
         let t0 = std::time::Instant::now();
-        let (solution, basis, outcome) = self.solve_checked_seeded(&terms, sense, seed)?;
+        let (solution, basis, outcome) = self
+            .solve_checked_seeded(&terms, sense, seed)
+            .map_err(|e| CoreError::ObjectiveSolve {
+                population: self.layout.population,
+                objective: indices[i],
+                source: Box::new(e),
+            })?;
         if dual_debug() {
             eprintln!(
                 "  solve {:?} {sense:?}: {:.1}ms {} its seeded={} outcome={outcome:?}",
@@ -887,6 +943,11 @@ impl MarginalBoundSolver {
         }
         match attempt {
             Ok(Some((solution, basis, outcome))) => Ok((solution, Some(basis), outcome)),
+            // Budget exhaustion must NOT fall back to the oracle: the dense
+            // tableau re-solves cold (it can cycle for minutes on the larger
+            // case-study LPs), which would spend the very time the budget is
+            // supposed to cap. Propagate so the degradation ladder answers.
+            Err(e @ CoreError::Lp(LpError::BudgetExhausted(_))) => Err(e),
             // Infeasible constraint set or numerical breakdown: let the
             // oracle produce the authoritative answer (or error) — but
             // count the fallback so it stays observable.
@@ -1295,7 +1356,7 @@ const _: () = {
 
 /// Little's-law conversion used by the paper: `R_min = N / X_max`,
 /// `R_max = N / X_min`.
-fn response_time_from_throughput(x: BoundInterval, population: usize) -> BoundInterval {
+pub(crate) fn response_time_from_throughput(x: BoundInterval, population: usize) -> BoundInterval {
     let n = population as f64;
     let upper = if x.lower > 0.0 { n / x.lower } else { f64::INFINITY };
     let lower = if x.upper > 0.0 { n / x.upper } else { 0.0 };

@@ -13,15 +13,24 @@
 //! * [`ensemble`] — scenario ensembles: many independent sweeps (burstiness
 //!   grids, random-model batches, capacity what-ifs) sharded across every
 //!   core with deterministic, worker-count-independent results.
+//! * [`robust`] — the degradation ladder behind the always-answer front
+//!   doors: budgeted solves that fall back from the certified LP through a
+//!   salted re-solve and a self-seeded bootstrap to the asymptotic floor,
+//!   tagging every answer with its [`robust::Quality`].
 
 pub mod aba;
 pub mod ensemble;
 pub mod marginal;
+pub mod robust;
 pub mod sweep;
 
 pub use aba::{aba_bounds, balanced_job_bounds, AsymptoticBounds};
-pub use ensemble::{EnsembleReport, EnsembleRunner, EnsembleStats, Scenario, ScenarioResult};
+pub use ensemble::{
+    EnsembleReport, EnsembleRunner, EnsembleStats, PartialEnsembleReport, Scenario,
+    ScenarioFailure, ScenarioResult,
+};
 pub use marginal::{BoundOptions, MarginalBoundSolver, NetworkBounds, SolverStats, SolverTimings};
+pub use robust::{LadderAttempt, Quality, Rung, SolveDiagnostics};
 pub use sweep::{PopulationSweep, SweepStats};
 
 /// A two-sided bound on a scalar performance index.

@@ -38,8 +38,10 @@
 //! ```
 
 use super::marginal::{BoundOptions, MarginalBoundSolver, NetworkBounds, SlotOutcome};
+use super::robust;
 use crate::network::ClosedNetwork;
 use crate::Result;
+use mapqn_linalg::SolveBudget;
 use mapqn_lp::Basis;
 
 /// Populations a canonical objective slot sits out after every seed
@@ -167,9 +169,39 @@ impl PopulationSweep {
     /// dual-warm-started from the previously solved population when one
     /// exists.
     ///
+    /// Solve-level failures (budget exhaustion, numerical breakdown) do
+    /// not surface as errors: the degradation ladder (see
+    /// [`super::robust`]) answers instead, and the returned
+    /// [`NetworkBounds::quality`] records which rung produced the
+    /// intervals.
+    ///
     /// # Errors
-    /// Propagates network-construction and LP failures.
+    /// Propagates network-construction failures (the ladder cannot answer
+    /// those either).
     pub fn bounds_at(&mut self, population: usize) -> Result<NetworkBounds> {
+        let start = std::time::Instant::now();
+        match self.bounds_at_raw(population) {
+            Ok(bounds) => Ok(bounds),
+            Err(err) if robust::ladder_eligible(&err) => {
+                let network = self.network.with_population(population)?;
+                robust::run_ladder(&network, self.options, err, start)
+            }
+            Err(err) => Err(err),
+        }
+    }
+
+    /// Replaces the sweep's solve budget for subsequent populations (the
+    /// degradation ladder uses this to hand its bootstrap steps a shared
+    /// remaining-time allowance).
+    pub(super) fn set_budget(&mut self, budget: SolveBudget) {
+        self.options.budget = budget;
+    }
+
+    /// The ladder-free solve behind [`PopulationSweep::bounds_at`]: one
+    /// certified attempt that propagates failures to the caller. The
+    /// bootstrap rung of the ladder calls this directly — routing it
+    /// through the laddered front door would recurse.
+    pub(super) fn bounds_at_raw(&mut self, population: usize) -> Result<NetworkBounds> {
         let network = self.network.with_population(population)?;
         let mut solver = MarginalBoundSolver::with_options(&network, self.options)?;
         // Only the slots with real pivot work are worth seeding; everything

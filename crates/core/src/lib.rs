@@ -63,7 +63,7 @@ pub mod templates;
 
 pub use bounds::{
     BoundInterval, EnsembleRunner, MarginalBoundSolver, PerformanceIndex, PopulationSweep,
-    Scenario,
+    Quality, Scenario, SolveDiagnostics,
 };
 pub use exact::solve_exact;
 pub use metrics::NetworkMetrics;
@@ -88,6 +88,33 @@ pub enum CoreError {
     /// The LP reported an unexpected status (infeasible / unbounded), which
     /// indicates an internal error in the constraint generation.
     BoundLpFailed(String),
+    /// One objective of a `bound_all` failed, with the population and
+    /// objective it failed at. This is the structured context the
+    /// degradation ladder and its diagnostics work from.
+    ObjectiveSolve {
+        /// Population of the solve that failed.
+        population: usize,
+        /// The performance index whose LP failed.
+        objective: bounds::PerformanceIndex,
+        /// The underlying failure.
+        source: Box<CoreError>,
+    },
+    /// One scenario of an ensemble run failed; carries the scenario's label
+    /// and job index so a batch failure is attributable without re-running.
+    Scenario {
+        /// Label of the failing scenario.
+        label: String,
+        /// Job index of the failing scenario in the submitted batch.
+        job: usize,
+        /// The underlying failure.
+        source: Box<CoreError>,
+    },
+    /// A deterministic fault-injection hook fired (`mapqn-faults`; testing
+    /// only — never produced in production configurations).
+    Injected {
+        /// Name of the fault site that fired.
+        site: &'static str,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -99,11 +126,37 @@ impl std::fmt::Display for CoreError {
             CoreError::Markov(e) => write!(f, "Markov chain error: {e}"),
             CoreError::Lp(e) => write!(f, "linear programming error: {e}"),
             CoreError::BoundLpFailed(msg) => write!(f, "bound LP failed: {msg}"),
+            CoreError::ObjectiveSolve {
+                population,
+                objective,
+                source,
+            } => write!(
+                f,
+                "solving {objective:?} at population {population} failed: {source}"
+            ),
+            CoreError::Scenario { label, job, source } => {
+                write!(f, "scenario '{label}' (job {job}) failed: {source}")
+            }
+            CoreError::Injected { site } => {
+                write!(f, "injected fault at site '{site}'")
+            }
         }
     }
 }
 
-impl std::error::Error for CoreError {}
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Stochastic(e) => Some(e),
+            CoreError::Markov(e) => Some(e),
+            CoreError::Lp(e) => Some(e),
+            CoreError::ObjectiveSolve { source, .. } | CoreError::Scenario { source, .. } => {
+                Some(source.as_ref())
+            }
+            _ => None,
+        }
+    }
+}
 
 impl From<mapqn_stochastic::StochasticError> for CoreError {
     fn from(e: mapqn_stochastic::StochasticError) -> Self {

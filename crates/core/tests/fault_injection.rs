@@ -1,0 +1,232 @@
+//! End-to-end fault injection: every `mapqn-faults` site, armed either
+//! programmatically or through `MAPQN_FAULT`, must push the front doors
+//! (`bound_all`, the ensemble runner) onto the degradation ladder — never
+//! into an error and never into a hang.
+//!
+//! The CI fault matrix runs this binary once per site
+//! (`MAPQN_FAULT=<site>:<seed> cargo test -q --test fault_injection`); the
+//! `env_*` tests exercise whatever the leg armed, while the programmatic
+//! tests override the environment through `mapqn_faults::arm`, so they are
+//! deterministic under every leg.
+
+use mapqn_core::bounds::{BoundOptions, NetworkBounds, Quality, Rung};
+use mapqn_core::templates::figure5_network;
+use mapqn_core::{CoreError, EnsembleRunner, MarginalBoundSolver, Scenario};
+use mapqn_faults::FaultSite;
+use mapqn_linalg::SolveBudget;
+use std::time::Duration;
+
+fn budgeted_options() -> BoundOptions {
+    BoundOptions {
+        budget: SolveBudget::wall_clock(Duration::from_secs(10)),
+        ..BoundOptions::default()
+    }
+}
+
+/// Arms a window that never fires: it overrides any `MAPQN_FAULT`
+/// environment selection (count 0 matches no occurrence), giving tests a
+/// guaranteed fault-free section under every CI matrix leg.
+fn quiet() -> mapqn_faults::FaultGuard {
+    mapqn_faults::arm(FaultSite::LpIterations, 0, 0)
+}
+
+fn assert_valid(bounds: &NetworkBounds) {
+    assert!(bounds.system_throughput.lower.is_finite());
+    assert!(bounds.system_throughput.upper.is_finite());
+    assert!(bounds.system_throughput.lower <= bounds.system_throughput.upper);
+    assert!(bounds.system_throughput.upper > 0.0);
+    for k in 0..bounds.throughput.len() {
+        assert!(bounds.throughput[k].lower <= bounds.throughput[k].upper);
+        assert!(bounds.utilization[k].lower <= bounds.utilization[k].upper);
+        assert!(bounds.mean_queue_length[k].lower <= bounds.mean_queue_length[k].upper);
+    }
+}
+
+fn assert_bounds_bitwise_equal(a: &NetworkBounds, b: &NetworkBounds) {
+    for k in 0..a.throughput.len() {
+        for (ia, ib) in [
+            (&a.throughput[k], &b.throughput[k]),
+            (&a.utilization[k], &b.utilization[k]),
+            (&a.mean_queue_length[k], &b.mean_queue_length[k]),
+        ] {
+            assert_eq!(ia.lower.to_bits(), ib.lower.to_bits());
+            assert_eq!(ia.upper.to_bits(), ib.upper.to_bits());
+        }
+    }
+    assert_eq!(
+        a.system_throughput.lower.to_bits(),
+        b.system_throughput.lower.to_bits()
+    );
+    assert_eq!(
+        a.system_throughput.upper.to_bits(),
+        b.system_throughput.upper.to_bits()
+    );
+}
+
+fn small_scenarios() -> Vec<Scenario> {
+    let network = figure5_network(1, 4.0, 0.5).unwrap();
+    (0..4)
+        .map(|i| Scenario::new(format!("s{i}"), network.clone(), 1..=3))
+        .collect()
+}
+
+/// Whatever fault the CI leg armed through `MAPQN_FAULT`, the budgeted
+/// front door answers with valid, quality-tagged bounds.
+#[test]
+fn env_selected_fault_still_answers() {
+    let _guard = mapqn_faults::exclusive();
+    let network = figure5_network(4, 4.0, 0.5).unwrap();
+    let mut solver = MarginalBoundSolver::with_options(&network, budgeted_options()).unwrap();
+    let bounds = solver
+        .bound_all()
+        .expect("the budgeted front door must answer under any armed fault");
+    assert_valid(&bounds);
+    if mapqn_faults::current().is_none() {
+        assert_eq!(bounds.quality, Quality::Certified);
+        assert!(!bounds.diagnostics.degraded());
+    }
+}
+
+/// Whatever the CI leg armed, a partial ensemble run returns one outcome
+/// per scenario and only injected failures.
+#[test]
+fn env_selected_fault_keeps_ensembles_partial() {
+    let _guard = mapqn_faults::exclusive();
+    let scenarios = small_scenarios();
+    let partial = EnsembleRunner::new().run_partial(&scenarios);
+    assert_eq!(partial.outcomes.len(), scenarios.len());
+    for outcome in &partial.outcomes {
+        match outcome {
+            Ok(result) => assert_eq!(result.bounds.len(), 3),
+            Err(failure) => {
+                assert!(matches!(failure.error, CoreError::Injected { .. }));
+            }
+        }
+    }
+}
+
+/// Permanent LP iteration exhaustion (revised engine *and* dense oracle)
+/// walks the whole ladder down to the algebraic floor.
+#[test]
+fn lp_iteration_exhaustion_degrades_to_the_floor() {
+    let _guard = mapqn_faults::arm(FaultSite::LpIterations, 0, u64::MAX);
+    let network = figure5_network(4, 4.0, 0.5).unwrap();
+    let mut solver = MarginalBoundSolver::with_options(&network, budgeted_options()).unwrap();
+    let bounds = solver.bound_all().unwrap();
+    assert_valid(&bounds);
+    assert_eq!(bounds.quality, Quality::Asymptotic);
+    assert!(bounds.diagnostics.degraded());
+    let rungs: Vec<Rung> = bounds.diagnostics.attempts.iter().map(|a| a.rung).collect();
+    assert_eq!(rungs, vec![Rung::Direct, Rung::Salted, Rung::Floor]);
+    assert!(bounds.diagnostics.attempts[0].error.is_some());
+    assert!(bounds.diagnostics.attempts[1].error.is_some());
+    assert!(bounds.diagnostics.attempts[2].error.is_none());
+}
+
+/// Permanent basis-factorization breakdown only disables the revised
+/// engine; the dense-tableau oracle (which keeps no factorization) absorbs
+/// it below the ladder, so the answer stays certified.
+#[test]
+fn lp_factorization_fault_is_absorbed_by_the_dense_oracle() {
+    let _guard = mapqn_faults::arm(FaultSite::LpFactorization, 0, u64::MAX);
+    let network = figure5_network(4, 4.0, 0.5).unwrap();
+    let mut solver = MarginalBoundSolver::with_options(&network, budgeted_options()).unwrap();
+    let bounds = solver.bound_all().unwrap();
+    assert_valid(&bounds);
+    assert_eq!(bounds.quality, Quality::Certified);
+    assert!(!bounds.diagnostics.degraded());
+}
+
+/// A transient fault (one injected iteration-limit) is absorbed before the
+/// ladder even engages: the engine's own dense fallback answers and the
+/// result stays certified.
+#[test]
+fn transient_lp_fault_is_absorbed_by_the_engine() {
+    let _guard = mapqn_faults::arm(FaultSite::LpIterations, 0, 1);
+    let network = figure5_network(4, 4.0, 0.5).unwrap();
+    let mut solver = MarginalBoundSolver::with_options(&network, budgeted_options()).unwrap();
+    let bounds = solver.bound_all().unwrap();
+    assert_valid(&bounds);
+    assert_eq!(bounds.quality, Quality::Certified);
+}
+
+/// Forced budget expiry (the `budget-expiry` hook makes every deadline
+/// check report wall-clock exhaustion) leaves only the floor standing.
+#[test]
+fn forced_budget_expiry_degrades_to_the_floor() {
+    let _guard = mapqn_faults::arm(FaultSite::BudgetExpiry, 0, u64::MAX);
+    let network = figure5_network(4, 4.0, 0.5).unwrap();
+    let mut solver = MarginalBoundSolver::with_options(&network, budgeted_options()).unwrap();
+    let bounds = solver.bound_all().unwrap();
+    assert_valid(&bounds);
+    assert_eq!(bounds.quality, Quality::Asymptotic);
+    assert!(bounds.diagnostics.degraded());
+}
+
+/// The acceptance criterion for partial ensembles: a batch with one
+/// injected failing scenario returns every other scenario's results
+/// bitwise identical to a fault-free run of the same batch.
+#[test]
+fn injected_scenario_failure_leaves_neighbours_bitwise_identical() {
+    let scenarios = small_scenarios();
+    let runner = EnsembleRunner::new();
+    let clean = {
+        let _guard = quiet();
+        runner.run_partial(&scenarios)
+    };
+    assert_eq!(clean.failures().count(), 0);
+
+    let faulted = {
+        let _guard = mapqn_faults::arm(FaultSite::EnsembleScenario, 1, 1);
+        runner.run_partial(&scenarios)
+    };
+    assert_eq!(faulted.outcomes.len(), scenarios.len());
+    for job in 0..scenarios.len() {
+        match (&clean.outcomes[job], &faulted.outcomes[job]) {
+            (Ok(c), Ok(f)) => {
+                assert_ne!(job, 1);
+                assert_eq!(c.label, f.label);
+                for (cb, fb) in c.bounds.iter().zip(&f.bounds) {
+                    assert_bounds_bitwise_equal(cb, fb);
+                }
+            }
+            (Ok(_), Err(failure)) => {
+                assert_eq!(job, 1);
+                assert_eq!(failure.job, 1);
+                assert_eq!(failure.label, "s1");
+                assert!(matches!(
+                    failure.error,
+                    CoreError::Injected {
+                        site: "ensemble-scenario"
+                    }
+                ));
+            }
+            (clean, faulted) => {
+                panic!("unexpected outcome pair at job {job}: {clean:?} / {faulted:?}")
+            }
+        }
+    }
+}
+
+/// The all-or-nothing `run` front door names the failing scenario: label
+/// and job index ride on the error, wrapped around the underlying cause.
+#[test]
+fn batch_error_names_the_failing_scenario() {
+    let _guard = mapqn_faults::arm(FaultSite::EnsembleScenario, 2, 1);
+    let scenarios = small_scenarios();
+    let err = EnsembleRunner::new().run(&scenarios).unwrap_err();
+    match &err {
+        CoreError::Scenario { label, job, source } => {
+            assert_eq!(label, "s2");
+            assert_eq!(*job, 2);
+            assert!(matches!(**source, CoreError::Injected { .. }));
+        }
+        other => panic!("expected CoreError::Scenario, got {other:?}"),
+    }
+    let rendered = err.to_string();
+    assert!(rendered.contains("s2"), "{rendered}");
+    assert!(rendered.contains("job 2"), "{rendered}");
+    // The wrapped cause is reachable through the std error chain.
+    let source = std::error::Error::source(&err).expect("Scenario must expose its source");
+    assert!(source.to_string().contains("ensemble-scenario"));
+}

@@ -34,6 +34,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod budget;
 pub mod csc;
 pub mod dense;
 pub mod kron;
@@ -42,6 +43,7 @@ pub mod norms;
 pub mod sparse;
 pub mod vector;
 
+pub use budget::{BudgetExhausted, EngineBudget, SolveBudget};
 pub use csc::CscMatrix;
 pub use dense::DMatrix;
 pub use kron::{kron, kron_sum};

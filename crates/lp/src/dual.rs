@@ -51,7 +51,7 @@ use crate::basis::{complete_basis, BasisFactor, ColumnSource};
 use crate::problem::Sense;
 use crate::revised::{Basis, RevisedSimplex, Work, FEAS_TOL, MIN_PIVOT, PIVOT_TOL, SUSPECT_PIVOT};
 use crate::simplex::{LpSolution, SimplexOptions};
-use crate::Result;
+use crate::{LpError, Result};
 
 /// Dual-feasibility tolerance for accepting a seeded basis, scaled by the
 /// magnitude of the dual prices (like the primal engine's scale-aware
@@ -220,7 +220,17 @@ impl RevisedSimplex {
                 }
                 break; // primal feasible: the seed basis is optimal.
             };
-            if dual_pivots >= pivot_budget || work.iterations >= options.max_iterations {
+            // The solve budget is a hard error (not a soft rejection): a
+            // rejection would silently re-run the cold primal path, spending
+            // the very time the budget is supposed to cap.
+            options
+                .budget
+                .check(work.iterations as u64)
+                .map_err(LpError::BudgetExhausted)?;
+            if dual_pivots >= pivot_budget
+                || work.iterations >= options.max_iterations
+                || mapqn_faults::fire(mapqn_faults::FaultSite::LpIterations)
+            {
                 if debug { eprintln!("dual-reject: pivot budget exhausted ({dual_pivots})"); }
                 return Ok(None);
             }

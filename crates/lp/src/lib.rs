@@ -103,6 +103,11 @@ pub enum LpError {
     /// The revised engine hit an unrecoverable numerical problem (for
     /// example a basis that stays singular after refactorization).
     Numerical(String),
+    /// The cooperative solve budget (wall-clock deadline or pivot cap) was
+    /// exhausted mid-solve. Unlike [`LpError::IterationLimit`] this is not a
+    /// property of the problem but of the caller's patience; the degradation
+    /// ladder in `mapqn-core` catches it and falls back instead of failing.
+    BudgetExhausted(mapqn_linalg::BudgetExhausted),
 }
 
 impl std::fmt::Display for LpError {
@@ -119,11 +124,19 @@ impl std::fmt::Display for LpError {
                 write!(f, "simplex iteration limit of {limit} exceeded")
             }
             LpError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+            LpError::BudgetExhausted(e) => write!(f, "solve budget exhausted: {e}"),
         }
     }
 }
 
-impl std::error::Error for LpError {}
+impl std::error::Error for LpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LpError::BudgetExhausted(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// Result alias for this crate.
 pub type Result<T> = std::result::Result<T, LpError>;

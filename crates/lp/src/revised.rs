@@ -919,6 +919,11 @@ impl RevisedSimplex {
     fn phase1(&mut self, options: &SimplexOptions) -> Result<Phase1Outcome> {
         let total_cols = self.total_real + self.m;
         let basis = self.phase1_basis.clone();
+        if mapqn_faults::fire(mapqn_faults::FaultSite::LpFactorization) {
+            return Err(LpError::Numerical(
+                "injected basis factorization fault".into(),
+            ));
+        }
         let factor = BasisFactor::factorize(self, &basis)
             .ok_or_else(|| LpError::Numerical("phase-1 starting basis is singular".into()))?;
         let mut in_basis = vec![false; total_cols];
@@ -1139,6 +1144,11 @@ impl RevisedSimplex {
     /// numerical error instead of silently continuing from an infeasible
     /// point — the caller is expected to fall back to the dense oracle.
     pub(crate) fn refresh_factor(&self, work: &mut Work, phase1: bool) -> Result<()> {
+        if mapqn_faults::fire(mapqn_faults::FaultSite::LpFactorization) {
+            return Err(LpError::Numerical(
+                "injected basis factorization fault".into(),
+            ));
+        }
         let mut repaired = false;
         let factor = match BasisFactor::factorize(self, &work.basis) {
             Some(factor) => factor,
@@ -1452,11 +1462,17 @@ impl RevisedSimplex {
         let mut banned = vec![false; self.total_real];
 
         loop {
-            if work.iterations >= options.max_iterations {
+            if work.iterations >= options.max_iterations
+                || mapqn_faults::fire(mapqn_faults::FaultSite::LpIterations)
+            {
                 return Err(LpError::IterationLimit {
                     limit: options.max_iterations,
                 });
             }
+            options
+                .budget
+                .check(work.iterations as u64)
+                .map_err(LpError::BudgetExhausted)?;
             if stall_counter >= options.stall_threshold {
                 bland_mode = true;
             }

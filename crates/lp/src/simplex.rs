@@ -63,6 +63,11 @@ pub struct SimplexOptions {
     /// index**, never from a worker id or thread id — a schedule-dependent
     /// salt would make results depend on the worker count.
     pub perturbation_salt: u64,
+    /// Cooperative solve budget checked inside the pivot loops of both
+    /// engines. The default ([`mapqn_linalg::EngineBudget::none`]) imposes
+    /// nothing; front doors in `mapqn-core` anchor a
+    /// [`mapqn_linalg::SolveBudget`] here at solve entry.
+    pub budget: mapqn_linalg::EngineBudget,
 }
 
 impl Default for SimplexOptions {
@@ -78,6 +83,7 @@ impl Default for SimplexOptions {
             stall_threshold: 50,
             engine: SimplexEngine::default(),
             perturbation_salt: 0,
+            budget: mapqn_linalg::EngineBudget::none(),
         }
     }
 }
@@ -332,11 +338,17 @@ fn run_pivots(
     // anti-cycling guarantee only holds if the rule is used consistently.
     let mut bland_mode = false;
     loop {
-        if *iterations >= options.max_iterations {
+        if *iterations >= options.max_iterations
+            || mapqn_faults::fire(mapqn_faults::FaultSite::LpIterations)
+        {
             return Err(LpError::IterationLimit {
                 limit: options.max_iterations,
             });
         }
+        options
+            .budget
+            .check(*iterations as u64)
+            .map_err(LpError::BudgetExhausted)?;
         let obj_row = sf.tableau.rows;
         if stall_counter >= options.stall_threshold {
             bland_mode = true;

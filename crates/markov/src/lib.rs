@@ -68,6 +68,10 @@ pub enum MarkovError {
     },
     /// An underlying linear-algebra operation failed.
     Linalg(mapqn_linalg::LinalgError),
+    /// The cooperative solve budget (wall-clock deadline or sweep-work cap)
+    /// was exhausted mid-solve; the caller decides whether to degrade or
+    /// propagate.
+    Budget(mapqn_linalg::BudgetExhausted),
 }
 
 impl std::fmt::Display for MarkovError {
@@ -85,11 +89,20 @@ impl std::fmt::Display for MarkovError {
                 write!(f, "state space exceeds the configured limit of {limit} states")
             }
             MarkovError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            MarkovError::Budget(e) => write!(f, "solve budget exhausted: {e}"),
         }
     }
 }
 
-impl std::error::Error for MarkovError {}
+impl std::error::Error for MarkovError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MarkovError::Linalg(e) => Some(e),
+            MarkovError::Budget(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<mapqn_linalg::LinalgError> for MarkovError {
     fn from(e: mapqn_linalg::LinalgError) -> Self {

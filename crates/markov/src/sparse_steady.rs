@@ -121,6 +121,10 @@ pub struct SparseSteadyOptions {
     /// `~1.6` the sweeps oscillate; the engine automatically retreats to
     /// plain sweeps when an over-relaxed iteration diverges or stalls.
     pub sor_omega: f64,
+    /// Cooperative solve budget checked once per sweep (the work unit is
+    /// one state relaxation, so a sweep charges `n` units). The default
+    /// ([`mapqn_linalg::EngineBudget::none`]) imposes nothing.
+    pub budget: mapqn_linalg::EngineBudget,
 }
 
 impl Default for SparseSteadyOptions {
@@ -135,6 +139,7 @@ impl Default for SparseSteadyOptions {
             spawn_mode: SpawnMode::Persistent,
             preconditioner: SparsePreconditioner::GaussSeidel,
             sor_omega: 1.0,
+            budget: mapqn_linalg::EngineBudget::none(),
         }
     }
 }
@@ -441,6 +446,8 @@ fn solve_on(kernel: Kernel<'_>, options: &SparseSteadyOptions) -> Result<SparseS
 
     let mut total_sweeps = 0usize;
     let mut last_residual = f64::INFINITY;
+    // Budget work counter: one unit per state relaxation, i.e. `n` per sweep.
+    let mut sweep_work = 0u64;
     for (attempt_idx, &(engine, omega)) in attempts.iter().enumerate() {
         if engine != SparsePreconditioner::Power && !rates_ok {
             continue;
@@ -511,8 +518,19 @@ fn solve_on(kernel: Kernel<'_>, options: &SparseSteadyOptions) -> Result<SparseS
             std::mem::swap(&mut x, &mut x_next);
             normalize(&mut x);
             total_sweeps += 1;
+            sweep_work = sweep_work.saturating_add(n as u64);
+            options.budget.check(sweep_work).map_err(MarkovError::Budget)?;
 
             if sweep % check_every == 0 || sweep == attempt_budget {
+                // A residual check is a coarse round boundary: force the
+                // wall-clock check regardless of the work-counter cadence.
+                options
+                    .budget
+                    .check_deadline()
+                    .map_err(MarkovError::Budget)?;
+                if mapqn_faults::fire(mapqn_faults::FaultSite::GsDivergence) {
+                    break; // injected divergence: fall back to the next rung
+                }
                 let mut residual = measure(&x, &mut candidate, &mut scratch);
                 last_residual = residual;
                 if sparse_debug() {
