@@ -26,8 +26,6 @@
 //! `quick` (default, finishes in seconds/minutes on a laptop) or `full`
 //! (closer to the paper's original experiment sizes; hours of compute).
 
-#![deny(missing_docs)]
-#![warn(clippy::all)]
 
 /// Experiment scale selected through the `MAPQN_SCALE` environment variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,0 +1,159 @@
+//! `mapqn-check` — the workspace soundness gate.
+//!
+//! ```text
+//! cargo run --release -p mapqn-check [-- --root <dir>] [--report <file>] [--model | --all]
+//! ```
+//!
+//! Default: run the invariant linter over the workspace and exit non-zero
+//! on any violation. `--model` additionally runs the handshake
+//! model-check matrix (the real protocol across small worker/round
+//! configurations, plus every seeded mutation, which must all *fail*).
+//! `--report` writes the combined report to a file for the CI artifact.
+
+use mapqn_check::lint;
+use mapqn_check::model::{self, Config, Mutation};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    report: Option<PathBuf>,
+    run_lint: bool,
+    run_model: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    // The binary lives at <root>/crates/check; the workspace root is two
+    // levels up from the manifest directory.
+    let default_root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .map_err(|e| format!("cannot resolve workspace root: {e}"))?;
+    let mut args = Args {
+        root: default_root,
+        report: None,
+        run_lint: true,
+        run_model: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = it.next().ok_or("--root needs a value")?;
+                args.root = PathBuf::from(v);
+            }
+            "--report" => {
+                let v = it.next().ok_or("--report needs a value")?;
+                args.report = Some(PathBuf::from(v));
+            }
+            "--model" => {
+                args.run_lint = false;
+                args.run_model = true;
+            }
+            "--all" => {
+                args.run_lint = true;
+                args.run_model = true;
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// Runs the model-check matrix; returns (report text, all passed).
+fn run_model_matrix() -> (String, bool) {
+    let mut text = String::new();
+    let mut ok = true;
+    let configs = [(1, 3), (2, 2), (2, 3), (3, 2)];
+    let _ = writeln!(text, "handshake model check (exhaustive interleavings):");
+    for (workers, rounds) in configs {
+        let cfg = Config {
+            workers,
+            rounds,
+            mutation: Mutation::None,
+        };
+        match model::check(&cfg) {
+            Ok(stats) => {
+                let _ = writeln!(
+                    text,
+                    "  PASS  real protocol, {workers} worker(s) x {rounds} round(s): {} states, {} terminal",
+                    stats.states, stats.terminal
+                );
+            }
+            Err(v) => {
+                ok = false;
+                let _ = writeln!(
+                    text,
+                    "  FAIL  real protocol, {workers} worker(s) x {rounds} round(s):\n{v}"
+                );
+            }
+        }
+    }
+    let _ = writeln!(text, "seeded mutations (the checker must reject every one):");
+    for mutation in Mutation::seeded() {
+        let cfg = Config {
+            workers: 2,
+            rounds: 2,
+            mutation,
+        };
+        match model::check(&cfg) {
+            Ok(stats) => {
+                ok = false;
+                let _ = writeln!(
+                    text,
+                    "  FAIL  mutation {} was NOT detected ({} states passed) — the checker has lost its teeth",
+                    mutation.name(),
+                    stats.states
+                );
+            }
+            Err(v) => {
+                let _ = writeln!(text, "  PASS  mutation {} detected: {}", mutation.name(), v.kind);
+            }
+        }
+    }
+    (text, ok)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("mapqn-check: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut out = String::new();
+    let mut ok = true;
+
+    if args.run_lint {
+        match lint::lint_workspace(&args.root) {
+            Ok(report) => {
+                let _ = write!(out, "{report}");
+                ok &= report.is_clean();
+            }
+            Err(e) => {
+                eprintln!("mapqn-check: linting failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if args.run_model {
+        let (text, model_ok) = run_model_matrix();
+        let _ = write!(out, "{text}");
+        ok &= model_ok;
+    }
+
+    print!("{out}");
+    if let Some(path) = &args.report {
+        if let Err(e) = std::fs::write(path, &out) {
+            eprintln!("mapqn-check: cannot write report {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

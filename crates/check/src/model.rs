@@ -1,0 +1,741 @@
+//! Exhaustive interleaving checker for the `mapqn-par` persistent-pool
+//! handshake.
+//!
+//! The coordinator/worker protocol of `crates/par/src/lib.rs` is restated
+//! here as two explicit state machines over the [`crate::vm`] memory
+//! model, one transition per shared-memory access, and the checker
+//! enumerates **every** interleaving (and every coherent stale read the
+//! release/acquire model permits) for a small configuration — 2–3 workers
+//! × 2–3 rounds — with a memoized DFS over the reachable state graph.
+//!
+//! Checked properties:
+//!
+//! * **no data race on the job slot** — the published `RawJob` is a plain
+//!   `UnsafeCell` in the real pool; the model makes it a plain location
+//!   with full race detection, so "`job` is only read inside an
+//!   Acquire-epoch / Release-decrement window" is checked, not argued;
+//! * **round integrity** — a worker that observes a new epoch reads
+//!   exactly its round's job (never a stale or cleared slot), epochs are
+//!   never skipped, and the active counter never underflows;
+//! * **no round overlap** — when the coordinator clears/republishes the
+//!   slot, no worker is still inside its round;
+//! * **no lost wakeup / shutdown termination** — every reachable state
+//!   can make progress until both rounds and the shutdown storm have
+//!   fully quiesced (a worker parked with no banked token while the
+//!   coordinator waits is a deadlock, which the DFS reports with a full
+//!   interleaving trace).
+//!
+//! [`Mutation`] seeds known-bad protocol variants (epoch bump weakened to
+//! Relaxed, round unparks dropped, Release decrement weakened, Acquire
+//! drain weakened, counter reset reordered after the bump). The test
+//! suite requires the checker to **fail** on every one of them — that is
+//! the evidence the model has teeth, and it doubles as documentation of
+//! *why* each ordering in `docs/ATOMICS.md` is load-bearing.
+
+use crate::vm::{Memory, Ord as MOrd, Race, Token, View, MAX_THREADS};
+use std::collections::HashMap;
+
+/// Location indices in the model's memory.
+const EPOCH: usize = 0;
+const ACTIVE: usize = 1;
+const SHUTDOWN: usize = 2;
+/// The plain (non-atomic) published-job slot; value 0 = cleared, r = the
+/// job for round r.
+const JOB: usize = 3;
+
+/// Seeded protocol bugs the checker must detect (plus `None`, the real
+/// protocol, which must pass).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// The real protocol as shipped in `crates/par`.
+    None,
+    /// `epoch.fetch_add(1, Release)` weakened to `Relaxed`: the job write
+    /// is no longer published to spinning workers.
+    EpochBumpRelaxed,
+    /// The per-round unpark loop dropped: a worker that parked before the
+    /// bump sleeps forever (lost wakeup).
+    DropRoundUnpark,
+    /// `active.fetch_sub(1, Release)` weakened to `Relaxed`: the
+    /// coordinator's drain no longer happens-after the workers' job
+    /// reads, so clearing the slot races.
+    DecActiveRelaxed,
+    /// `active.load(Acquire)` in the drain weakened to `Relaxed`: same
+    /// race from the read side.
+    WaitActiveRelaxed,
+    /// `active.store(W)` reordered after the epoch bump: a fast worker
+    /// can decrement the stale counter (underflow / phantom quiesce).
+    ResetActiveAfterBump,
+}
+
+impl Mutation {
+    /// Stable name for reports and the CI matrix.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutation::None => "none",
+            Mutation::EpochBumpRelaxed => "epoch-bump-relaxed",
+            Mutation::DropRoundUnpark => "drop-round-unpark",
+            Mutation::DecActiveRelaxed => "dec-active-relaxed",
+            Mutation::WaitActiveRelaxed => "wait-active-relaxed",
+            Mutation::ResetActiveAfterBump => "reset-active-after-bump",
+        }
+    }
+
+    /// Every seeded mutation (excluding the real protocol).
+    #[must_use]
+    pub fn seeded() -> [Mutation; 5] {
+        [
+            Mutation::EpochBumpRelaxed,
+            Mutation::DropRoundUnpark,
+            Mutation::DecActiveRelaxed,
+            Mutation::WaitActiveRelaxed,
+            Mutation::ResetActiveAfterBump,
+        ]
+    }
+}
+
+/// A model configuration: how many workers and rounds to enumerate, and
+/// which protocol variant to check.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Worker threads (1..=3; the coordinator is always present).
+    pub workers: usize,
+    /// Rounds the coordinator publishes before the shutdown storm.
+    pub rounds: usize,
+    /// Protocol variant.
+    pub mutation: Mutation,
+}
+
+/// Result of an exhaustive run.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Distinct reachable states.
+    pub states: usize,
+    /// Distinct fully-terminated states.
+    pub terminal: usize,
+}
+
+/// A property violation, with the interleaving that reaches it.
+#[derive(Debug, Clone)]
+pub struct ModelViolation {
+    /// What went wrong.
+    pub kind: String,
+    /// The transition labels from the initial state to the violation.
+    pub trace: Vec<String>,
+}
+
+impl std::fmt::Display for ModelViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "handshake model violation: {}", self.kind)?;
+        writeln!(f, "interleaving ({} steps):", self.trace.len())?;
+        for (i, step) in self.trace.iter().enumerate() {
+            writeln!(f, "  {i:>3}. {step}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Coordinator program counter — one state per shared-memory access of
+/// `WorkPool::scoped` + `ScopedPool::round` in `crates/par`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum CoordPc {
+    /// Plain write of the job slot for the current round.
+    WriteJob,
+    /// `active.store(W, Relaxed)`.
+    ResetActive,
+    /// `epoch.fetch_add(1, Release)`.
+    BumpEpoch,
+    /// The per-round `worker.unpark()` loop (next worker to unpark).
+    UnparkWorkers(u8),
+    /// The drain loop: `active.load(Acquire)` until zero.
+    WaitActive,
+    /// A drain-loop check just failed: spin again or park. (The real
+    /// loop always re-checks between parks, so the park choice lives
+    /// here, not in `WaitActive`.)
+    DrainSpinOrPark,
+    /// Parked inside the drain loop.
+    ParkWait,
+    /// Plain write clearing the job slot after quiesce.
+    ClearJob,
+    /// `shutdown.store(true, Release)`.
+    StoreShutdown,
+    /// The shutdown unpark storm (next worker to unpark).
+    UnparkShutdown(u8),
+    /// `thread::scope` join: enabled once every worker has exited.
+    Join,
+    /// Fully done.
+    Done,
+}
+
+/// Worker program counter — one state per shared-memory access of
+/// `worker_loop` in `crates/par`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum WorkerPc {
+    /// `epoch.load(Acquire)` and compare against `seen`.
+    LoadEpoch,
+    /// `shutdown.load(Acquire)` when the epoch was unchanged.
+    LoadShutdown,
+    /// The bounded-spin decision point: retry the loop or park.
+    SpinOrPark,
+    /// Parked, waiting for a banked token.
+    ParkWait,
+    /// Plain read of the job slot for the observed round.
+    ReadJob,
+    /// `active.fetch_sub(1, Release)`.
+    DecActive,
+    /// Unpark the coordinator (this worker's decrement hit zero).
+    UnparkCoord,
+    /// Exited the worker loop.
+    Done,
+}
+
+/// One global model state. Thread 0 is the coordinator; threads
+/// `1..=workers` are the pool workers.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct State {
+    mem: Memory,
+    views: [View; MAX_THREADS],
+    tokens: [Token; MAX_THREADS],
+    coord: CoordPc,
+    round: u8,
+    workers: [WorkerPc; MAX_THREADS],
+    seen: [u8; MAX_THREADS],
+}
+
+impl State {
+    fn initial(cfg: &Config) -> Self {
+        let mut workers = [WorkerPc::Done; MAX_THREADS];
+        for w in 1..=cfg.workers {
+            workers[w] = WorkerPc::LoadEpoch;
+        }
+        Self {
+            mem: Memory::new(),
+            views: [View::default(); MAX_THREADS],
+            tokens: [Token::default(); MAX_THREADS],
+            coord: CoordPc::WriteJob,
+            round: 1,
+            workers,
+            seen: [0; MAX_THREADS],
+        }
+    }
+
+    fn all_done(&self) -> bool {
+        self.coord == CoordPc::Done
+    }
+}
+
+/// A successor state plus the transition label that produced it.
+struct Succ {
+    label: String,
+    state: State,
+}
+
+fn race_label(race: &Race) -> String {
+    match race {
+        Race::ReadWrite { reader } => {
+            format!("data race: worker {reader} reads the job slot concurrently with a write")
+        }
+        Race::WriteAfterRead { writer, reader } => format!(
+            "data race: thread {writer} writes the job slot concurrently with thread {reader}'s access"
+        ),
+    }
+}
+
+/// Enumerates every successor of `state` for the coordinator (thread 0).
+fn coord_successors(cfg: &Config, state: &State, out: &mut Vec<Succ>) -> Result<(), String> {
+    let w = cfg.workers;
+    match state.coord {
+        CoordPc::WriteJob => {
+            let mut s = state.clone();
+            let round = s.round;
+            let mut view = s.views[0];
+            s.mem
+                .plain_write(&mut view, 0, JOB, u32::from(round))
+                .map_err(|r| race_label(&r))?;
+            s.views[0] = view;
+            s.coord = if cfg.mutation == Mutation::ResetActiveAfterBump {
+                CoordPc::BumpEpoch
+            } else {
+                CoordPc::ResetActive
+            };
+            out.push(Succ {
+                label: format!("coord: publish job for round {round}"),
+                state: s,
+            });
+        }
+        CoordPc::ResetActive => {
+            let mut s = state.clone();
+            let mut view = s.views[0];
+            s.mem
+                .atomic_store(&mut view, ACTIVE, w as u32, MOrd::Relaxed);
+            s.views[0] = view;
+            s.coord = if cfg.mutation == Mutation::ResetActiveAfterBump {
+                // Mutated order: the reset happens after the bump, so the
+                // unpark loop comes next.
+                CoordPc::UnparkWorkers(0)
+            } else {
+                CoordPc::BumpEpoch
+            };
+            out.push(Succ {
+                label: format!("coord: active.store({w}, Relaxed)"),
+                state: s,
+            });
+        }
+        CoordPc::BumpEpoch => {
+            let mut s = state.clone();
+            let mut view = s.views[0];
+            let write_ord = if cfg.mutation == Mutation::EpochBumpRelaxed {
+                MOrd::Relaxed
+            } else {
+                MOrd::Release
+            };
+            s.mem
+                .atomic_rmw(&mut view, EPOCH, |v| v + 1, MOrd::Relaxed, write_ord);
+            s.views[0] = view;
+            s.coord = if cfg.mutation == Mutation::ResetActiveAfterBump {
+                CoordPc::ResetActive
+            } else {
+                CoordPc::UnparkWorkers(0)
+            };
+            out.push(Succ {
+                label: format!(
+                    "coord: epoch.fetch_add(1, {})",
+                    if write_ord == MOrd::Release { "Release" } else { "Relaxed" }
+                ),
+                state: s,
+            });
+        }
+        CoordPc::UnparkWorkers(i) => {
+            if cfg.mutation == Mutation::DropRoundUnpark {
+                let mut s = state.clone();
+                s.coord = CoordPc::WaitActive;
+                out.push(Succ {
+                    label: "coord: (mutated) round unparks dropped".to_string(),
+                    state: s,
+                });
+            } else {
+                let mut s = state.clone();
+                let target = i as usize + 1;
+                let view = s.views[0];
+                s.tokens[target].deposit(&view);
+                s.coord = if target < w {
+                    CoordPc::UnparkWorkers(i + 1)
+                } else {
+                    CoordPc::WaitActive
+                };
+                out.push(Succ {
+                    label: format!("coord: unpark worker {target}"),
+                    state: s,
+                });
+            }
+        }
+        CoordPc::WaitActive => {
+            let ord = if cfg.mutation == Mutation::WaitActiveRelaxed {
+                MOrd::Relaxed
+            } else {
+                MOrd::Acquire
+            };
+            for idx in state.mem.readable(&state.views[0], ACTIVE) {
+                let mut s = state.clone();
+                let mut view = s.views[0];
+                let value = s.mem.atomic_load(&mut view, ACTIVE, idx, ord);
+                s.views[0] = view;
+                s.coord = if value == 0 {
+                    CoordPc::ClearJob
+                } else {
+                    CoordPc::DrainSpinOrPark
+                };
+                out.push(Succ {
+                    label: format!("coord: active.load -> {value}"),
+                    state: s,
+                });
+            }
+        }
+        CoordPc::DrainSpinOrPark => {
+            let mut spin = state.clone();
+            spin.coord = CoordPc::WaitActive;
+            out.push(Succ {
+                label: "coord: spin in drain loop".to_string(),
+                state: spin,
+            });
+            let mut park = state.clone();
+            park.coord = CoordPc::ParkWait;
+            out.push(Succ {
+                label: "coord: park in drain loop".to_string(),
+                state: park,
+            });
+        }
+        CoordPc::ParkWait => {
+            let mut s = state.clone();
+            let mut view = s.views[0];
+            if s.tokens[0].consume(&mut view) {
+                s.views[0] = view;
+                s.coord = CoordPc::WaitActive;
+                out.push(Succ {
+                    label: "coord: wake from park".to_string(),
+                    state: s,
+                });
+            }
+            // No token: blocked (no successor from this thread).
+        }
+        CoordPc::ClearJob => {
+            for (t, pc) in state.workers.iter().enumerate().take(w + 1).skip(1) {
+                if matches!(pc, WorkerPc::ReadJob | WorkerPc::DecActive) {
+                    return Err(format!(
+                        "round overlap: coordinator clears the job slot while worker {t} is still inside round {}",
+                        state.round
+                    ));
+                }
+            }
+            let mut s = state.clone();
+            let mut view = s.views[0];
+            s.mem
+                .plain_write(&mut view, 0, JOB, 0)
+                .map_err(|r| race_label(&r))?;
+            s.views[0] = view;
+            if s.round < cfg.rounds as u8 {
+                s.round += 1;
+                s.coord = CoordPc::WriteJob;
+            } else {
+                s.coord = CoordPc::StoreShutdown;
+            }
+            out.push(Succ {
+                label: format!("coord: clear job slot after round {}", state.round),
+                state: s,
+            });
+        }
+        CoordPc::StoreShutdown => {
+            let mut s = state.clone();
+            let mut view = s.views[0];
+            s.mem.atomic_store(&mut view, SHUTDOWN, 1, MOrd::Release);
+            s.views[0] = view;
+            s.coord = CoordPc::UnparkShutdown(0);
+            out.push(Succ {
+                label: "coord: shutdown.store(true, Release)".to_string(),
+                state: s,
+            });
+        }
+        CoordPc::UnparkShutdown(i) => {
+            let mut s = state.clone();
+            let target = i as usize + 1;
+            let view = s.views[0];
+            s.tokens[target].deposit(&view);
+            s.coord = if target < w {
+                CoordPc::UnparkShutdown(i + 1)
+            } else {
+                CoordPc::Join
+            };
+            out.push(Succ {
+                label: format!("coord: shutdown unpark worker {target}"),
+                state: s,
+            });
+        }
+        CoordPc::Join => {
+            if (1..=w).all(|t| state.workers[t] == WorkerPc::Done) {
+                let mut s = state.clone();
+                s.coord = CoordPc::Done;
+                out.push(Succ {
+                    label: "coord: join workers".to_string(),
+                    state: s,
+                });
+            }
+            // Workers still running: join blocks.
+        }
+        CoordPc::Done => {}
+    }
+    Ok(())
+}
+
+/// Enumerates every successor of `state` for worker thread `t`.
+fn worker_successors(cfg: &Config, state: &State, t: usize, out: &mut Vec<Succ>) -> Result<(), String> {
+    match state.workers[t] {
+        WorkerPc::LoadEpoch => {
+            for idx in state.mem.readable(&state.views[t], EPOCH) {
+                let mut s = state.clone();
+                let mut view = s.views[t];
+                let e = s.mem.atomic_load(&mut view, EPOCH, idx, MOrd::Acquire);
+                s.views[t] = view;
+                let seen = u32::from(s.seen[t]);
+                if e != seen {
+                    if e != seen + 1 {
+                        return Err(format!(
+                            "worker {t} skipped a round: epoch jumped {seen} -> {e}"
+                        ));
+                    }
+                    s.seen[t] = e as u8;
+                    s.workers[t] = WorkerPc::ReadJob;
+                } else {
+                    s.workers[t] = WorkerPc::LoadShutdown;
+                }
+                out.push(Succ {
+                    label: format!("worker {t}: epoch.load(Acquire) -> {e}"),
+                    state: s,
+                });
+            }
+        }
+        WorkerPc::LoadShutdown => {
+            for idx in state.mem.readable(&state.views[t], SHUTDOWN) {
+                let mut s = state.clone();
+                let mut view = s.views[t];
+                let v = s.mem.atomic_load(&mut view, SHUTDOWN, idx, MOrd::Acquire);
+                s.views[t] = view;
+                s.workers[t] = if v == 1 {
+                    WorkerPc::Done
+                } else {
+                    WorkerPc::SpinOrPark
+                };
+                out.push(Succ {
+                    label: format!("worker {t}: shutdown.load(Acquire) -> {v}"),
+                    state: s,
+                });
+            }
+        }
+        WorkerPc::SpinOrPark => {
+            let mut spin = state.clone();
+            spin.workers[t] = WorkerPc::LoadEpoch;
+            out.push(Succ {
+                label: format!("worker {t}: spin"),
+                state: spin,
+            });
+            let mut park = state.clone();
+            park.workers[t] = WorkerPc::ParkWait;
+            out.push(Succ {
+                label: format!("worker {t}: park"),
+                state: park,
+            });
+        }
+        WorkerPc::ParkWait => {
+            let mut s = state.clone();
+            let mut view = s.views[t];
+            if s.tokens[t].consume(&mut view) {
+                s.views[t] = view;
+                s.workers[t] = WorkerPc::LoadEpoch;
+                out.push(Succ {
+                    label: format!("worker {t}: wake from park"),
+                    state: s,
+                });
+            }
+        }
+        WorkerPc::ReadJob => {
+            let mut s = state.clone();
+            let mut view = s.views[t];
+            let value = s
+                .mem
+                .plain_read(&mut view, t, JOB)
+                .map_err(|r| race_label(&r))?;
+            s.views[t] = view;
+            let expect = u32::from(s.seen[t]);
+            if value != expect {
+                return Err(format!(
+                    "worker {t} read a stale job slot: expected round {expect}, slot holds {value}"
+                ));
+            }
+            s.workers[t] = WorkerPc::DecActive;
+            out.push(Succ {
+                label: format!("worker {t}: read job for round {expect}"),
+                state: s,
+            });
+        }
+        WorkerPc::DecActive => {
+            let write_ord = if cfg.mutation == Mutation::DecActiveRelaxed {
+                MOrd::Relaxed
+            } else {
+                MOrd::Release
+            };
+            let mut s = state.clone();
+            let mut view = s.views[t];
+            let old = s
+                .mem
+                .atomic_rmw(&mut view, ACTIVE, |v| v.wrapping_sub(1), MOrd::Relaxed, write_ord);
+            s.views[t] = view;
+            if old == 0 {
+                return Err(format!(
+                    "active counter underflow: worker {t} decremented an already-drained round"
+                ));
+            }
+            s.workers[t] = if old == 1 {
+                WorkerPc::UnparkCoord
+            } else {
+                WorkerPc::LoadEpoch
+            };
+            out.push(Succ {
+                label: format!("worker {t}: active.fetch_sub(1) -> {}", old - 1),
+                state: s,
+            });
+        }
+        WorkerPc::UnparkCoord => {
+            let mut s = state.clone();
+            let view = s.views[t];
+            s.tokens[0].deposit(&view);
+            s.workers[t] = WorkerPc::LoadEpoch;
+            out.push(Succ {
+                label: format!("worker {t}: unpark coordinator"),
+                state: s,
+            });
+        }
+        WorkerPc::Done => {}
+    }
+    Ok(())
+}
+
+fn successors(cfg: &Config, state: &State) -> Result<Vec<Succ>, String> {
+    let mut out = Vec::new();
+    coord_successors(cfg, state, &mut out)?;
+    for t in 1..=cfg.workers {
+        worker_successors(cfg, state, t, &mut out)?;
+    }
+    Ok(out)
+}
+
+/// Reconstructs the interleaving that reached `state` from the DFS parent
+/// map.
+fn trace_to(
+    parents: &HashMap<State, Option<(State, String)>>,
+    state: &State,
+    last: Option<String>,
+) -> Vec<String> {
+    let mut labels = Vec::new();
+    if let Some(l) = last {
+        labels.push(l);
+    }
+    let mut cur = state.clone();
+    while let Some(Some((parent, label))) = parents.get(&cur) {
+        labels.push(label.clone());
+        cur = parent.clone();
+    }
+    labels.reverse();
+    labels
+}
+
+/// Exhaustively enumerates the reachable state graph of `cfg`, checking
+/// every soundness property on every transition.
+///
+/// # Errors
+/// The first [`ModelViolation`] found, with a full interleaving trace.
+///
+/// # Panics
+/// If `cfg.workers` is 0 or exceeds [`MAX_THREADS`]` - 1`.
+pub fn check(cfg: &Config) -> Result<Stats, ModelViolation> {
+    assert!(
+        cfg.workers >= 1 && cfg.workers < MAX_THREADS,
+        "workers must be 1..={}",
+        MAX_THREADS - 1
+    );
+    assert!(cfg.rounds >= 1 && cfg.rounds <= 3, "rounds must be 1..=3");
+    let initial = State::initial(cfg);
+    let mut parents: HashMap<State, Option<(State, String)>> = HashMap::new();
+    parents.insert(initial.clone(), None);
+    let mut stack = vec![initial];
+    let mut terminal = 0usize;
+    while let Some(state) = stack.pop() {
+        let succs = match successors(cfg, &state) {
+            Ok(s) => s,
+            Err(kind) => {
+                return Err(ModelViolation {
+                    trace: trace_to(&parents, &state, Some(format!("<violating step> {kind}"))),
+                    kind,
+                });
+            }
+        };
+        if succs.is_empty() {
+            if state.all_done() {
+                terminal += 1;
+                continue;
+            }
+            let kind = describe_deadlock(cfg, &state);
+            return Err(ModelViolation {
+                trace: trace_to(&parents, &state, None),
+                kind,
+            });
+        }
+        for succ in succs {
+            if !parents.contains_key(&succ.state) {
+                parents.insert(succ.state.clone(), Some((state.clone(), succ.label)));
+                stack.push(succ.state);
+            }
+        }
+    }
+    if terminal == 0 {
+        return Err(ModelViolation {
+            kind: "no terminal state is reachable".to_string(),
+            trace: Vec::new(),
+        });
+    }
+    Ok(Stats {
+        states: parents.len(),
+        terminal,
+    })
+}
+
+fn describe_deadlock(cfg: &Config, state: &State) -> String {
+    let mut parked = Vec::new();
+    for t in 1..=cfg.workers {
+        if state.workers[t] == WorkerPc::ParkWait {
+            parked.push(t.to_string());
+        }
+    }
+    format!(
+        "lost wakeup / deadlock: coordinator at {:?} (round {}), workers parked without tokens: [{}]",
+        state.coord,
+        state.round,
+        parked.join(", ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(workers: usize, rounds: usize, mutation: Mutation) -> Config {
+        Config {
+            workers,
+            rounds,
+            mutation,
+        }
+    }
+
+    #[test]
+    fn real_protocol_passes_two_workers_two_rounds() {
+        let stats = check(&cfg(2, 2, Mutation::None)).expect("real protocol must be sound");
+        assert!(stats.states > 100, "expected a non-trivial state space");
+        assert!(stats.terminal >= 1);
+    }
+
+    #[test]
+    fn real_protocol_passes_one_worker_three_rounds() {
+        check(&cfg(1, 3, Mutation::None)).expect("real protocol must be sound");
+    }
+
+    #[test]
+    fn every_seeded_mutation_is_detected() {
+        for mutation in Mutation::seeded() {
+            let result = check(&cfg(2, 2, mutation));
+            assert!(
+                result.is_err(),
+                "mutation {} must be detected by the model checker",
+                mutation.name()
+            );
+        }
+    }
+
+    #[test]
+    fn epoch_bump_relaxed_is_a_job_race() {
+        let err = check(&cfg(2, 2, Mutation::EpochBumpRelaxed)).unwrap_err();
+        assert!(
+            err.kind.contains("data race"),
+            "weakened epoch bump must surface as a job-slot race, got: {}",
+            err.kind
+        );
+        assert!(!err.trace.is_empty(), "violations carry a trace");
+    }
+
+    #[test]
+    fn dropped_unpark_is_a_lost_wakeup() {
+        let err = check(&cfg(2, 2, Mutation::DropRoundUnpark)).unwrap_err();
+        assert!(
+            err.kind.contains("lost wakeup"),
+            "dropped unpark must surface as a deadlock, got: {}",
+            err.kind
+        );
+    }
+}

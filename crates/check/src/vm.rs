@@ -1,0 +1,295 @@
+//! A small release/acquire virtual memory model, sized for exhaustively
+//! checking the `mapqn-par` coordinator/worker handshake.
+//!
+//! This is a loom-style operational model, hand-rolled because the build
+//! environment has no registry access. It models exactly what the
+//! handshake protocol needs — no more:
+//!
+//! * **Atomic locations** keep their full modification order (a list of
+//!   [`Store`]s). A load may read any store that coherence permits: at or
+//!   after the reading thread's per-location *floor* (the latest store it
+//!   is already aware of through happens-before). Acquire loads join the
+//!   reader's [`View`] with the store's release message; Release stores
+//!   and RMWs attach the writer's view as that message. RMWs always read
+//!   the latest store and **continue its release sequence** (the new
+//!   store's message is the union of the read store's message and, for
+//!   Release RMWs, the writer's view) — this is the edge the pool's
+//!   `active.fetch_sub(1, Release)` / `active.load(Acquire)` drain
+//!   depends on.
+//! * **One plain (non-atomic) location** — the published job slot — with
+//!   full data-race detection: a plain read must have the latest store in
+//!   its happens-before past (floor == latest), and a plain write must
+//!   additionally have *every prior read* in its past, which the model
+//!   tracks with bounded per-thread read counters carried inside views.
+//! * **Park/unpark with token banking**, matching `std::thread`: an
+//!   unpark deposits at most one token; a park consumes a banked token or
+//!   blocks. Tokens carry the unparker's view (std documents that unpark
+//!   *synchronizes-with* the return from park), which is precisely the
+//!   edge that makes "consume the banked token, then re-read the epoch"
+//!   race-free in the real pool.
+//!
+//! Views are bounded because the checked programs are finite (store
+//! indices are bounded by the op count, read counters by the round
+//! count), so whole-system states hash cleanly and the reachable state
+//! graph is enumerable with a memoized DFS — see [`crate::model`].
+
+/// Maximum threads a model instance supports (coordinator + workers).
+pub const MAX_THREADS: usize = 4;
+
+/// Maximum modeled memory locations.
+pub const MAX_LOCS: usize = 4;
+
+/// A thread's knowledge of the world: per-location coherence floors plus
+/// the per-thread plain-read counters used for read→write race detection
+/// on the plain location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct View {
+    /// Per-location index of the latest store this view is aware of
+    /// (coherence floor: loads may not read anything older).
+    pub floor: [u8; MAX_LOCS],
+    /// Per-thread count of plain-location reads this view is aware of.
+    pub plain_reads: [u8; MAX_THREADS],
+}
+
+impl View {
+    /// Pointwise maximum (happens-before join).
+    pub fn join(&mut self, other: &View) {
+        for i in 0..MAX_LOCS {
+            self.floor[i] = self.floor[i].max(other.floor[i]);
+        }
+        for i in 0..MAX_THREADS {
+            self.plain_reads[i] = self.plain_reads[i].max(other.plain_reads[i]);
+        }
+    }
+}
+
+/// One entry in a location's modification order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Store {
+    /// The stored value.
+    pub value: u32,
+    /// The release message: the view an Acquire reader synchronizes
+    /// into, or `None` for a plain/Relaxed store that heads no release
+    /// sequence.
+    pub msg: Option<View>,
+}
+
+/// Memory ordering of an access, restricted to what the protocol uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ord {
+    /// No synchronization, coherence only.
+    Relaxed,
+    /// Loads/RMWs join the read store's release message.
+    Acquire,
+    /// Stores/RMWs attach the writer's view as the release message.
+    Release,
+}
+
+/// The whole shared memory: modification orders for every atomic
+/// location plus the racy-access bookkeeping for the one plain location.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Memory {
+    /// Modification order per location. Atomic locations use the full
+    /// protocol; the plain location (by convention the caller designates
+    /// one index) uses `plain_*` accessors instead.
+    pub stores: [Vec<Store>; MAX_LOCS],
+    /// Per-thread count of reads of the plain location (ground truth the
+    /// write-race check compares views against).
+    pub plain_reads: [u8; MAX_THREADS],
+}
+
+/// A detected soundness failure in an execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Race {
+    /// A plain read that does not have the latest store in its
+    /// happens-before past.
+    ReadWrite {
+        /// The reading thread.
+        reader: usize,
+    },
+    /// A plain write that does not have every prior read (or the latest
+    /// store) in its happens-before past.
+    WriteAfterRead {
+        /// The writing thread.
+        writer: usize,
+        /// The thread whose read is concurrent with the write.
+        reader: usize,
+    },
+}
+
+impl Memory {
+    /// Fresh memory: every location holds an initial store of `0`, with a
+    /// release message visible to everyone (program start synchronizes
+    /// all threads).
+    #[must_use]
+    pub fn new() -> Self {
+        let init = Store {
+            value: 0,
+            msg: Some(View::default()),
+        };
+        Self {
+            stores: [vec![init], vec![init], vec![init], vec![init]],
+            plain_reads: [0; MAX_THREADS],
+        }
+    }
+
+    fn latest_idx(&self, loc: usize) -> u8 {
+        debug_assert!(!self.stores[loc].is_empty(), "locations start non-empty");
+        (self.stores[loc].len() - 1) as u8
+    }
+
+    /// All store indices a thread with `view` may read at `loc` (floor up
+    /// to the latest, inclusive).
+    #[must_use]
+    pub fn readable(&self, view: &View, loc: usize) -> std::ops::RangeInclusive<u8> {
+        view.floor[loc]..=self.latest_idx(loc)
+    }
+
+    /// Performs the view updates of an atomic load of store `idx` at
+    /// `loc`, returning the value read.
+    pub fn atomic_load(&self, view: &mut View, loc: usize, idx: u8, ord: Ord) -> u32 {
+        let store = self.stores[loc][idx as usize];
+        view.floor[loc] = view.floor[loc].max(idx);
+        if ord == Ord::Acquire {
+            if let Some(msg) = &store.msg {
+                view.join(msg);
+            }
+        }
+        store.value
+    }
+
+    /// Atomic store at `loc` (appends to the modification order).
+    pub fn atomic_store(&mut self, view: &mut View, loc: usize, value: u32, ord: Ord) {
+        let msg = (ord == Ord::Release).then_some(*view);
+        self.stores[loc].push(Store { value, msg });
+        view.floor[loc] = self.latest_idx(loc);
+    }
+
+    /// Atomic read-modify-write: reads the **latest** store (RMW
+    /// atomicity), applies `f`, appends the result. Continues the read
+    /// store's release sequence; Acquire joins its message, Release
+    /// contributes the writer's view. Returns the value read (the "old"
+    /// value).
+    pub fn atomic_rmw(
+        &mut self,
+        view: &mut View,
+        loc: usize,
+        f: impl FnOnce(u32) -> u32,
+        ord_read: Ord,
+        ord_write: Ord,
+    ) -> u32 {
+        let latest = self.latest_idx(loc) as usize;
+        let read = self.stores[loc][latest];
+        if ord_read == Ord::Acquire {
+            if let Some(msg) = &read.msg {
+                view.join(msg);
+            }
+        }
+        // Release-sequence continuation: the new store's message carries
+        // whatever the read store carried, plus this writer's view when
+        // the write half is Release.
+        let mut msg = read.msg;
+        if ord_write == Ord::Release {
+            match &mut msg {
+                Some(m) => m.join(view),
+                None => msg = Some(*view),
+            }
+        }
+        self.stores[loc].push(Store {
+            value: f(read.value),
+            msg,
+        });
+        view.floor[loc] = self.latest_idx(loc);
+        read.value
+    }
+
+    /// Plain (non-atomic) read at `loc` by `thread`. Reports a data race
+    /// unless the latest store happens-before the read; otherwise returns
+    /// the (unique coherent) value and bumps the thread's read counter.
+    ///
+    /// # Errors
+    /// [`Race::ReadWrite`] when the read races with a store.
+    pub fn plain_read(
+        &mut self,
+        view: &mut View,
+        thread: usize,
+        loc: usize,
+    ) -> Result<u32, Race> {
+        let latest = self.latest_idx(loc);
+        if view.floor[loc] < latest {
+            return Err(Race::ReadWrite { reader: thread });
+        }
+        self.plain_reads[thread] = self.plain_reads[thread].saturating_add(1);
+        view.plain_reads[thread] = self.plain_reads[thread];
+        Ok(self.stores[loc][latest as usize].value)
+    }
+
+    /// Plain (non-atomic) write at `loc` by `thread`. Reports a data race
+    /// unless the latest store **and every prior plain read** happen
+    /// before the write.
+    ///
+    /// # Errors
+    /// [`Race::WriteAfterRead`] when some read (or store) is concurrent
+    /// with this write.
+    pub fn plain_write(
+        &mut self,
+        view: &mut View,
+        thread: usize,
+        loc: usize,
+        value: u32,
+    ) -> Result<(), Race> {
+        let latest = self.latest_idx(loc);
+        if view.floor[loc] < latest {
+            return Err(Race::WriteAfterRead {
+                writer: thread,
+                reader: thread,
+            });
+        }
+        for t in 0..MAX_THREADS {
+            if view.plain_reads[t] < self.plain_reads[t] {
+                return Err(Race::WriteAfterRead {
+                    writer: thread,
+                    reader: t,
+                });
+            }
+        }
+        self.stores[loc].push(Store { value, msg: None });
+        view.floor[loc] = self.latest_idx(loc);
+        Ok(())
+    }
+}
+
+impl Default for Memory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A banked park token: present or absent, carrying the unparker's view
+/// (std's `unpark` synchronizes-with the return from `park`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Token {
+    /// Whether a token is banked.
+    pub present: bool,
+    /// The join of every unparker's view since the last consume.
+    pub view: View,
+}
+
+impl Token {
+    /// Deposit a token (join views if one is already banked — the bank
+    /// holds at most one token, matching `std::thread`).
+    pub fn deposit(&mut self, from: &View) {
+        self.present = true;
+        self.view.join(from);
+    }
+
+    /// Consume the banked token into `into`, if present.
+    pub fn consume(&mut self, into: &mut View) -> bool {
+        if !self.present {
+            return false;
+        }
+        into.join(&self.view);
+        *self = Token::default();
+        true
+    }
+}

@@ -9,8 +9,6 @@
 //! min / mean / max to stdout. Statistical analysis, plots and baselines of
 //! the real crate are out of scope.
 
-#![deny(missing_docs)]
-#![warn(clippy::all)]
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};

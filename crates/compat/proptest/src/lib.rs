@@ -8,8 +8,6 @@
 //! from a fixed seed; shrinking is not implemented (failures report the
 //! concrete sampled values through the assertion message instead).
 
-#![deny(missing_docs)]
-#![warn(clippy::all)]
 
 pub use rand;
 

@@ -11,8 +11,6 @@
 //! variance, MAP sampling). The bit streams differ from the real `rand`
 //! crate, so seeded expectations are stable only within this workspace.
 
-#![deny(missing_docs)]
-#![warn(clippy::all)]
 
 /// Low-level source of random 64-bit words.
 pub trait RngCore {

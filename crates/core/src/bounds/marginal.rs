@@ -472,7 +472,7 @@ impl MarginalBoundSolver {
                     .into(),
             ));
         }
-        let t_setup = std::time::Instant::now();
+        let t_setup = mapqn_linalg::budget::now();
         let layout = VariableLayout::new(network);
         let (base, row_keys) = build_constraints(network, &layout, &options);
         let visit_ratios = network.visit_ratios()?;
@@ -711,7 +711,7 @@ impl MarginalBoundSolver {
     /// algebraic asymptotic floor — the returned
     /// [`NetworkBounds::quality`] records which rung answered.
     pub fn bound_all(&mut self) -> Result<NetworkBounds> {
-        let start = std::time::Instant::now();
+        let start = mapqn_linalg::budget::now();
         let full = self.options.budget;
         // The direct solve gets a slice of the wall clock, not all of it:
         // when *it* is the slow thing, the fallback rungs still need time.
@@ -764,7 +764,7 @@ impl MarginalBoundSolver {
             self.options.simplex.budget = self
                 .options
                 .budget
-                .engine_budget(std::time::Instant::now());
+                .engine_budget(mapqn_linalg::budget::now());
         }
         let m = self.layout.m;
         let n = self.layout.population;
@@ -800,6 +800,7 @@ impl MarginalBoundSolver {
             *slot = Some(self.solve_slot(&indices, i, Sense::Maximize, seeds)?);
         }
 
+        // INFALLIBLE: the loops above filled every slot (or returned `Err`).
         let lower_at = |i: usize| lowers[i].as_ref().expect("solved above");
         let upper_at = |i: usize| uppers[i].as_ref().expect("solved above");
         // Canonical layout: throughputs at 0..m, system throughput at m,
@@ -847,7 +848,7 @@ impl MarginalBoundSolver {
         };
         let seed = seeds.get(slot).and_then(Option::as_ref);
         let terms = self.objective_terms(indices[i]);
-        let t0 = std::time::Instant::now();
+        let t0 = mapqn_linalg::budget::now();
         let (solution, basis, outcome) = self
             .solve_checked_seeded(&terms, sense, seed)
             .map_err(|e| CoreError::ObjectiveSolve {
@@ -928,7 +929,7 @@ impl MarginalBoundSolver {
         seed: Option<&Basis>,
     ) -> Result<(LpSolution, Option<Basis>, SlotOutcome)> {
         if self.options.simplex.engine == SimplexEngine::DenseTableau {
-            let t_dense = std::time::Instant::now();
+            let t_dense = mapqn_linalg::budget::now();
             let solution = self.solve_dense(terms, sense);
             self.context.timings.dense_ns += t_dense.elapsed().as_nanos() as u64;
             return Ok((solution?, None, SlotOutcome::Primal));
@@ -953,7 +954,7 @@ impl MarginalBoundSolver {
             // count the fallback so it stays observable.
             Ok(None) | Err(CoreError::Lp(_)) => {
                 self.context.stats.dense_fallbacks += 1;
-                let t_dense = std::time::Instant::now();
+                let t_dense = mapqn_linalg::budget::now();
                 let solution = self.solve_dense(terms, sense);
                 self.context.timings.dense_ns += t_dense.elapsed().as_nanos() as u64;
                 Ok((solution?, None, SlotOutcome::DenseFallback))
@@ -978,7 +979,7 @@ impl MarginalBoundSolver {
         dual_seed: Option<&Basis>,
     ) -> Result<Option<(LpSolution, Basis, SlotOutcome)>> {
         if self.context.warm.is_none() {
-            let t_setup = std::time::Instant::now();
+            let t_setup = mapqn_linalg::budget::now();
             let engine = RevisedSimplex::new(&self.base).map_err(CoreError::Lp)?;
             engine.set_perturbation_salt(self.options.simplex.perturbation_salt);
             self.context.warm = Some(WarmState {
@@ -989,6 +990,8 @@ impl MarginalBoundSolver {
         }
         let stats = &mut self.context.stats;
         let timings = &mut self.context.timings;
+        // INFALLIBLE: the `if self.context.warm.is_none()` block above
+        // just populated the slot.
         let warm = self.context.warm.as_mut().expect("initialized above");
 
         let mut objective = vec![0.0; self.layout.total];
@@ -997,7 +1000,7 @@ impl MarginalBoundSolver {
         }
 
         if let Some(seed) = dual_seed {
-            let t_dual = std::time::Instant::now();
+            let t_dual = mapqn_linalg::budget::now();
             let attempt =
                 warm.engine
                     .solve_dual_from_basis(&objective, sense, seed, &self.options.simplex);
@@ -1039,7 +1042,7 @@ impl MarginalBoundSolver {
         // the whole cold phase 1.
         let mut repaired = false;
         if let Some(seed) = dual_seed {
-            let t_repair = std::time::Instant::now();
+            let t_repair = mapqn_linalg::budget::now();
             let attempt = warm
                 .engine
                 .repair_primal_feasible(seed, &self.options.simplex);
@@ -1054,7 +1057,7 @@ impl MarginalBoundSolver {
             // failure path is exactly where the profile matters (the cold
             // breakdown at large N burns its minutes *inside* failing
             // solves, which a success-only profile would report as zero).
-            let t_phase1 = std::time::Instant::now();
+            let t_phase1 = mapqn_linalg::budget::now();
             let found = warm.engine.find_feasible_basis(&self.options.simplex);
             timings.phase1_ns += t_phase1.elapsed().as_nanos() as u64;
             let Some(basis) = found.map_err(CoreError::Lp)? else {
@@ -1062,8 +1065,10 @@ impl MarginalBoundSolver {
             };
             warm.basis = Some(basis);
         }
+        // INFALLIBLE: both branches above either stored a basis or
+        // returned early.
         let start = warm.basis.clone().expect("ensured above");
-        let t_primal = std::time::Instant::now();
+        let t_primal = mapqn_linalg::budget::now();
         let attempt =
             warm.engine
                 .solve_from_basis(&objective, sense, &start, &self.options.simplex);

@@ -187,7 +187,7 @@ pub(super) fn run_ladder(
             None => options.budget,
             Some(d) => SolveBudget {
                 wall_clock: Some(
-                    d.saturating_duration_since(Instant::now()).mul_f64(fraction),
+                    d.saturating_duration_since(mapqn_linalg::budget::now()).mul_f64(fraction),
                 ),
                 ..options.budget
             },
@@ -207,7 +207,7 @@ pub(super) fn run_ladder(
     };
 
     // Rung 2: salted re-solve.
-    let t = Instant::now();
+    let t = mapqn_linalg::budget::now();
     match salted_attempt(network, options, remaining(SALTED_SLICE)) {
         Ok(bounds) => {
             attempts.push(LadderAttempt {
@@ -229,7 +229,7 @@ pub(super) fn run_ladder(
     // Rung 3: self-seeded bootstrap (pointless at tiny populations, where
     // it would just repeat the direct solve).
     if target > BOOTSTRAP_MIN {
-        let t = Instant::now();
+        let t = mapqn_linalg::budget::now();
         match bootstrap_attempt(network, options, deadline) {
             Ok(bounds) => {
                 attempts.push(LadderAttempt {
@@ -252,7 +252,7 @@ pub(super) fn run_ladder(
     // Rung 4: the algebraic floor. Pure arithmetic — the only errors it
     // can produce are construction-grade (no queueing station), which the
     // solver that got us here would have rejected already.
-    let t = Instant::now();
+    let t = mapqn_linalg::budget::now();
     let bounds = asymptotic_floor(network)?;
     attempts.push(LadderAttempt {
         rung: Rung::Floor,
@@ -299,7 +299,7 @@ fn bootstrap_attempt(
     let mut last: Option<NetworkBounds> = None;
     for &population in &schedule {
         if let Some(d) = deadline {
-            let left = d.saturating_duration_since(Instant::now());
+            let left = d.saturating_duration_since(mapqn_linalg::budget::now());
             if left.is_zero() {
                 return Err(CoreError::Lp(mapqn_lp::LpError::BudgetExhausted(
                     BudgetExhausted::WallClock,
@@ -314,6 +314,8 @@ fn bootstrap_attempt(
         }
         last = Some(sweep.bounds_at_raw(population)?);
     }
+    // INFALLIBLE: the schedule ends with `population` itself, so the loop
+    // body ran at least once and set `last`.
     Ok(last.expect("schedule always contains the target population"))
 }
 

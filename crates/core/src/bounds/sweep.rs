@@ -179,7 +179,7 @@ impl PopulationSweep {
     /// Propagates network-construction failures (the ladder cannot answer
     /// those either).
     pub fn bounds_at(&mut self, population: usize) -> Result<NetworkBounds> {
-        let start = std::time::Instant::now();
+        let start = mapqn_linalg::budget::now();
         match self.bounds_at_raw(population) {
             Ok(bounds) => Ok(bounds),
             Err(err) if robust::ladder_eligible(&err) => {

@@ -47,8 +47,6 @@
 //! the TPC-W model of Figure 2), and [`random_models`] generates the random
 //! three-queue models of Table 1.
 
-#![deny(missing_docs)]
-#![warn(clippy::all)]
 
 pub mod bounds;
 pub mod decomposition;

@@ -37,8 +37,6 @@
 //! feature (default-on) is disabled, so production builds can opt the
 //! branches out entirely.
 
-#![deny(missing_docs)]
-#![warn(clippy::all)]
 
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};

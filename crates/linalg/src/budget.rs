@@ -31,6 +31,21 @@ use std::time::{Duration, Instant};
 /// pivot granularity would dominate the check itself.
 pub const CLOCK_CHECK_MASK: u64 = 127;
 
+/// The workspace's single sanctioned wall-clock read.
+///
+/// Every timing measurement outside this module (budget anchoring in the
+/// bound sweeps, per-phase diagnostics in the LP engines) routes through
+/// here instead of calling [`Instant::now`] directly; the `bare-clock`
+/// rule in `mapqn-check` enforces it. Funneling the clock through one
+/// spelling keeps deadline anchors and diagnostics on the same monotonic
+/// source and gives any future virtual-clock hook (fault injection,
+/// deterministic replay) exactly one seam to intercept.
+#[inline]
+#[must_use]
+pub fn now() -> Instant {
+    Instant::now()
+}
+
 /// Why a budgeted solve was cut short.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BudgetExhausted {

@@ -191,6 +191,8 @@ impl CscMatrix {
                 triplets.push((r, c, v));
             }
         }
+        // INFALLIBLE: every triplet index came from iterating the source
+        // CSR within its own dimensions.
         Self::from_triplets(csr.nrows(), csr.ncols(), &triplets)
             .expect("from_csr: indices are in range by construction")
     }

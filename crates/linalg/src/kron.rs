@@ -50,6 +50,7 @@ pub fn kron_sum(a: &DMatrix, b: &DMatrix) -> DMatrix {
     let ib = DMatrix::identity(b.nrows());
     let left = kron(a, &ib);
     let right = kron(&ia, b);
+    // INFALLIBLE: both products are (na*nb) x (na*nb) for square A and B.
     left.add(&right)
         .expect("kron_sum: shapes are consistent by construction")
 }

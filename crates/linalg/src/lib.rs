@@ -31,8 +31,6 @@
 //! up to the `10^6`–`10^7`-state regime of the sparse exact engine, LPs with
 //! a few thousand variables) are comfortably within double precision.
 
-#![deny(missing_docs)]
-#![warn(clippy::all)]
 
 pub mod budget;
 pub mod csc;

@@ -305,6 +305,8 @@ impl CsrMatrix {
                 triplets.push((self.col_idx[k], r, self.values[k]));
             }
         }
+        // INFALLIBLE: swapped (col, row) pairs of a valid CSR stay within
+        // the transposed dimensions.
         CsrMatrix::from_triplets(self.cols, self.rows, &triplets)
             .expect("transpose: indices are in range by construction")
     }

@@ -138,7 +138,7 @@ impl RevisedSimplex {
         let costs = self.phase2_costs(objective, maximize);
 
         let debug = std::env::var_os("MAPQN_DUAL_DEBUG").is_some();
-        let t_start = std::time::Instant::now();
+        let t_start = mapqn_linalg::budget::now();
         let Some(mut work) = self.seed_work(seed) else {
             if debug { eprintln!("dual-reject: seed factorization failed"); }
             return Ok(None);
@@ -407,7 +407,7 @@ impl RevisedSimplex {
         }
         let t_dual = t_start.elapsed().as_secs_f64() * 1e3 - t_seed;
         let etas = work.factor.eta_count();
-        let t_fin = std::time::Instant::now();
+        let t_fin = mapqn_linalg::budget::now();
         let (solution, out_basis) =
             self.finish_phase2(work, &costs, maximize, seed, options)?;
         if debug {

@@ -68,8 +68,6 @@
 //! unusable seeds, so callers chain it with the primal path as a pure fast
 //! path.
 
-#![deny(missing_docs)]
-#![warn(clippy::all)]
 
 pub mod basis;
 pub mod dual;

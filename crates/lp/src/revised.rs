@@ -280,6 +280,8 @@ impl RevisedSimplex {
                 }
             }
         }
+        // INFALLIBLE: rows index `0..m` and columns index structural,
+        // slack and artificial variables, all counted into `total_real`.
         let cols = CscMatrix::from_triplets(m, total_real.max(1), &triplets)
             .expect("standard-form indices are in range by construction");
 

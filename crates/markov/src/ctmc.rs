@@ -148,6 +148,8 @@ impl Ctmc {
             }
             triplets.push((i, i, diag_extra));
         }
+        // INFALLIBLE: all triplets come from iterating the generator's own
+        // n x n sparsity pattern.
         let p = CsrMatrix::from_triplets(n, n, &triplets)
             .expect("indices are in range by construction");
         (p, q)

@@ -28,8 +28,6 @@
 //!   (an extension beyond the paper's steady-state analysis, used by tests
 //!   and examples), sharing the parallel sparse matvec kernel.
 
-#![deny(missing_docs)]
-#![warn(clippy::all)]
 
 pub mod ctmc;
 pub mod dtmc;

@@ -700,6 +700,28 @@ mod tests {
     use super::*;
     use crate::steady::stationary_dense_gth;
 
+    // Scaled-down problem sizes for Miri (interpreted execution): the same
+    // engines and forced-parallel paths, far fewer states and sweeps.
+    #[cfg(miri)]
+    const CHAIN: usize = 40;
+    #[cfg(not(miri))]
+    const CHAIN: usize = 200;
+    #[cfg(miri)]
+    const WIDE_CHAIN: usize = 80;
+    #[cfg(not(miri))]
+    const WIDE_CHAIN: usize = 500;
+    #[cfg(miri)]
+    const NESTED_CHAIN: usize = 30;
+    #[cfg(not(miri))]
+    const NESTED_CHAIN: usize = 120;
+    /// Bridge rate of the near-reducible chain: sweeps scale like
+    /// 1/bridge, so Miri gets a wider bridge (still two decades below the
+    /// intra-cluster rates — the stall regime is preserved).
+    #[cfg(miri)]
+    const BRIDGE: f64 = 1e-2;
+    #[cfg(not(miri))]
+    const BRIDGE: f64 = 1e-4;
+
     fn birth_death(n: usize, birth: f64, death: f64) -> Ctmc {
         let mut transitions = Vec::new();
         for i in 0..n - 1 {
@@ -711,7 +733,7 @@ mod tests {
 
     #[test]
     fn all_preconditioners_match_gth() {
-        let ctmc = birth_death(200, 2.0, 3.0);
+        let ctmc = birth_death(CHAIN, 2.0, 3.0);
         let dense = stationary_dense_gth(&ctmc).unwrap();
         for pre in [
             SparsePreconditioner::GaussSeidel,
@@ -734,7 +756,7 @@ mod tests {
 
     #[test]
     fn results_are_bitwise_worker_count_invariant() {
-        let ctmc = birth_death(500, 1.0, 1.3);
+        let ctmc = birth_death(WIDE_CHAIN, 1.0, 1.3);
         // Small blocks so multiple chunks exist even at this size, and a
         // zero threshold so the threaded path really runs.
         let base = SparseSteadyOptions {
@@ -805,7 +827,7 @@ mod tests {
         // Reproduce that nesting with the real engine: an outer scoped map
         // whose every job runs a forced-parallel sparse solve. Must not
         // deadlock, and every job must reproduce the serial bits.
-        let ctmc = birth_death(120, 1.5, 2.0);
+        let ctmc = birth_death(NESTED_CHAIN, 1.5, 2.0);
         let opts = SparseSteadyOptions {
             block_len: 16,
             parallel_threshold: 0,
@@ -835,7 +857,7 @@ mod tests {
         // immediate-update propagation visibly beats global uniformization.
         // (Near-critical birth-death chains are different — their slow
         // spectrum is dense and neither preconditioner has an edge there.)
-        let ctmc = birth_death(200, 2.0, 3.0);
+        let ctmc = birth_death(CHAIN, 2.0, 3.0);
         let base = SparseSteadyOptions::default();
         let gs = stationary_sparse(
             &ctmc,
@@ -894,8 +916,8 @@ mod tests {
         // small error here (the error is roughly residual over the bridge
         // rate), so the tolerance is pushed near machine precision.
         let mut transitions = vec![(0, 1, 5.0), (1, 0, 4.0), (2, 3, 3.0), (3, 2, 6.0)];
-        transitions.push((1, 2, 1e-4));
-        transitions.push((2, 1, 2e-4));
+        transitions.push((1, 2, BRIDGE));
+        transitions.push((2, 1, 2.0 * BRIDGE));
         let ctmc = Ctmc::from_transitions(4, &transitions).unwrap();
         let dense = stationary_dense_gth(&ctmc).unwrap();
         // Convergence is geometric at rate ~ 1 - O(bridge), so the sweep

@@ -80,8 +80,6 @@
 //! code paths execute even on single-core runners); otherwise it reports
 //! the machine's available parallelism.
 
-#![deny(missing_docs)]
-#![warn(clippy::all)]
 
 use std::cell::{Cell, UnsafeCell};
 use std::marker::PhantomData;
@@ -121,7 +119,13 @@ fn parse_thread_override(value: Option<&str>) -> Option<usize> {
 /// engine's sweep loop) land well inside this window, so the steady-state
 /// handshake never syscalls; an idle pool (between solves) parks after a
 /// few microseconds and burns no CPU.
+#[cfg(not(miri))]
 const SPIN_ROUNDS: usize = 4_096;
+/// Under Miri every spin iteration is interpreted and scheduling is
+/// cooperative, so a long spin window only slows the run without adding
+/// coverage — park almost immediately and exercise the park/unpark path.
+#[cfg(miri)]
+const SPIN_ROUNDS: usize = 8;
 
 /// A type-erased borrowed closure: the round publishes a data pointer plus
 /// a monomorphized trampoline instead of a fat `dyn` pointer, so no
@@ -131,10 +135,22 @@ const SPIN_ROUNDS: usize = 4_096;
 #[derive(Clone, Copy)]
 struct RawJob {
     data: *const (),
+    // SAFETY: calling `call` is sound only with this job's `data` while
+    // the pointee closure is alive — i.e. between a worker's Acquire
+    // epoch read and its Release decrement of `active`.
     call: unsafe fn(*const ()),
 }
 
+/// Monomorphized trampoline: recovers the concrete closure type behind a
+/// [`RawJob`]'s erased pointer and calls it.
+///
+/// # Safety
+/// `data` must be the erased pointer of a live `F`. The round protocol
+/// guarantees this: workers call only between the Acquire epoch read and
+/// their Release decrement, and the coordinator keeps the closure alive
+/// until `active` has drained back to zero.
 unsafe fn call_job<F: Fn() + Sync>(data: *const ()) {
+    // SAFETY: caller contract above — `data` points at a live `F`.
     unsafe { (*data.cast::<F>())() }
 }
 
@@ -213,14 +229,14 @@ fn worker_loop(shared: &Shared) {
         // SAFETY: the epoch was observed with Acquire, so the job written
         // before the bump is visible, and the coordinator keeps it alive
         // until `active` drains.
+        // INFALLIBLE: the coordinator publishes `Some(job)` before every
+        // epoch bump and clears the slot only after the round has drained.
         let job = unsafe { *shared.job.get() }.expect("epoch bumped without a published job");
         let outcome = catch_unwind(AssertUnwindSafe(|| unsafe { (job.call)(job.data) }));
         if let Err(payload) = outcome {
-            shared
-                .panics
-                .lock()
-                .expect("panic-slot mutex poisoned")
-                .push(payload);
+            // INFALLIBLE: `Vec::push` is the only code ever run under the
+            // panic-slot mutex and it cannot panic, so no poisoning.
+            shared.panics.lock().expect("panic-slot mutex poisoned").push(payload);
         }
         if shared.active.fetch_sub(1, Ordering::Release) == 1 {
             shared.coordinator.unpark();
@@ -426,8 +442,9 @@ impl ScopedPool<'_> {
                 std::thread::park();
             }
         }
-        // Quiesced: every worker is back in its wait loop and can no
-        // longer observe `job`.
+        // SAFETY: quiesced — `active` drained to zero under Acquire, which
+        // synchronizes with every worker's Release decrement, so no worker
+        // can still observe `job`; the slot is exclusively ours again.
         unsafe {
             *shared.job.get() = None;
         }
@@ -435,6 +452,8 @@ impl ScopedPool<'_> {
         // the same round); re-raise the first and drop the rest. Leaving
         // leftovers behind would poison the *next* round with a stale
         // panic, breaking the reuse-after-caught-panic contract.
+        // INFALLIBLE: `Vec::push` is the only code ever run under the
+        // panic-slot mutex and it cannot panic, so no poisoning.
         let mut worker_panics = std::mem::take(
             &mut *shared.panics.lock().expect("panic-slot mutex poisoned"),
         );
@@ -495,11 +514,10 @@ impl ScopedPool<'_> {
         self.round(|| loop {
             let i = cursor.fetch_add(1, Ordering::Relaxed);
             let Some(slot) = jobs.get(i) else { break };
-            let (start, chunk) = slot
-                .lock()
-                .expect("chunk slot poisoned")
-                .take()
-                .expect("every chunk index below len is claimed exactly once");
+            // INFALLIBLE: `take` cannot panic under the lock (no poison),
+            // and the fetch_add cursor claims each index exactly once.
+            let claimed = slot.lock().expect("chunk slot poisoned").take();
+            let (start, chunk) = claimed.expect("chunk below len claimed exactly once");
             f(start, chunk);
         });
     }
@@ -530,14 +548,17 @@ impl ScopedPool<'_> {
             let i = cursor.fetch_add(1, Ordering::Relaxed);
             let Some(item) = items.get(i) else { break };
             let r = f(i, item);
+            // INFALLIBLE: storing `Some(r)` cannot panic under the lock,
+            // so the result-slot mutex is never poisoned.
             *results[i].lock().expect("result slot poisoned") = Some(r);
         });
         results
             .into_iter()
             .map(|slot| {
-                slot.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("every job index below len was claimed exactly once")
+                // INFALLIBLE: no panic under the lock (see above), and the
+                // cursor claims every index below `len` exactly once.
+                let r = slot.into_inner().expect("result slot poisoned");
+                r.expect("every job index below len was claimed exactly once")
             })
             .collect()
     }
@@ -559,6 +580,26 @@ where
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
+
+    // Miri interprets every instruction, so the round-heavy tests run at a
+    // fraction of their native size: same code paths (publish, spin, park,
+    // drain, panic recovery), an order of magnitude fewer iterations.
+    #[cfg(miri)]
+    const MANY_ROUNDS: usize = 6;
+    #[cfg(not(miri))]
+    const MANY_ROUNDS: usize = 100;
+    #[cfg(miri)]
+    const SWEEPS: usize = 3;
+    #[cfg(not(miri))]
+    const SWEEPS: usize = 20;
+    #[cfg(miri)]
+    const SWEEP_LEN: usize = 101;
+    #[cfg(not(miri))]
+    const SWEEP_LEN: usize = 1003;
+    #[cfg(miri)]
+    const SWEEP_THREADS: &[usize] = &[2, 3];
+    #[cfg(not(miri))]
+    const SWEEP_THREADS: &[usize] = &[2, 3, 5, 8];
 
     #[test]
     fn map_preserves_item_order() {
@@ -689,7 +730,7 @@ mod tests {
         let total = WorkPool::new(4).scoped(|pool| {
             assert_eq!(pool.threads(), 4);
             let mut acc = 0usize;
-            for round in 0..100 {
+            for round in 0..MANY_ROUNDS {
                 let mut data = vec![0usize; 257];
                 pool.for_each_chunk(&mut data, 16, |start, chunk| {
                     for (i, x) in chunk.iter_mut().enumerate() {
@@ -700,7 +741,7 @@ mod tests {
             }
             acc
         });
-        let expected: usize = (0..100usize)
+        let expected: usize = (0..MANY_ROUNDS)
             .map(|round| (0..257usize).map(|i| round + i).sum::<usize>())
             .sum();
         assert_eq!(total, expected);
@@ -710,8 +751,8 @@ mod tests {
     fn scoped_rounds_are_bitwise_worker_count_invariant() {
         let run = |threads: usize| {
             WorkPool::new(threads).scoped(|pool| {
-                let mut data = vec![0.0f64; 1003];
-                for _ in 0..20 {
+                let mut data = vec![0.0f64; SWEEP_LEN];
+                for _ in 0..SWEEPS {
                     pool.for_each_chunk(&mut data, 37, |start, chunk| {
                         for (i, x) in chunk.iter_mut().enumerate() {
                             *x = (*x + (start + i) as f64).sin();
@@ -722,7 +763,7 @@ mod tests {
             })
         };
         let serial = run(1);
-        for threads in [2, 3, 5, 8] {
+        for &threads in SWEEP_THREADS {
             let parallel = run(threads);
             let same = serial
                 .iter()

@@ -256,20 +256,20 @@ pub fn simulate(network: &ClosedNetwork, config: &SimulationConfig) -> Result<Si
             let st = &mut stations[station_idx];
             match st.kind {
                 StationKind::Queue => {
-                    let (served_job, arrived_at) = st
-                        .in_service
-                        .take()
-                        .expect("completion event for an idle queue station");
+                    // INFALLIBLE: completions are scheduled only at service
+                    // entry and `in_service` is cleared only here.
+                    let slot = st.in_service.take();
+                    let (served_job, arrived_at) = slot.expect("completion at idle queue");
                     debug_assert_eq!(served_job, job);
                     arrival_time = arrived_at;
                 }
                 StationKind::Delay => {
                     // Find and remove the job from the delay station's set.
-                    let pos = st
-                        .queue
-                        .iter()
-                        .position(|&(j, _)| j == job)
-                        .expect("completion event for a job not present at the delay station");
+                    // INFALLIBLE: one delay completion per arrival, and the
+                    // job stays queued until that completion fires.
+                    let pos = st.queue.iter().position(|&(j, _)| j == job);
+                    let pos = pos.expect("completion for a job absent at delay station");
+                    // INFALLIBLE: `pos` is a valid index from `position`.
                     let (_, arrived_at) = st.queue.remove(pos).unwrap();
                     arrival_time = arrived_at;
                 }

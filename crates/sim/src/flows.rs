@@ -88,6 +88,7 @@ impl FlowTrace {
         if self.timestamps.len() < 2 {
             return 0.0;
         }
+        // INFALLIBLE: the `len() < 2` guard above ensures both ends exist.
         let horizon = self.timestamps.last().unwrap() - self.timestamps.first().unwrap();
         if horizon <= 0.0 {
             return 0.0;

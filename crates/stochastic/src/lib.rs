@@ -37,8 +37,6 @@
 //!   simulated traces (used to regenerate Figure 1);
 //! * [`random`] — random MAP(2) generation for the Table 1 experiments.
 
-#![deny(missing_docs)]
-#![warn(clippy::all)]
 
 pub mod acf;
 pub mod builders;

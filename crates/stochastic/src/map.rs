@@ -107,9 +107,9 @@ impl Map {
     /// Generator `D = D0 + D1` of the phase process.
     #[must_use]
     pub fn generator(&self) -> DMatrix {
-        self.d0
-            .add(&self.d1)
-            .expect("D0 and D1 have the same shape by construction")
+        // INFALLIBLE: `Map::new` validates that D0 and D1 are square with
+        // equal dimensions.
+        self.d0.add(&self.d1).expect("D0 and D1 have the same shape by construction")
     }
 
     /// Per-phase total event (completion) rate: the row sums of `D1`.

@@ -155,10 +155,8 @@ impl PhaseType {
     #[must_use]
     pub fn exit_rates(&self) -> DVector {
         let ones = DVector::ones(self.phases());
-        let t1 = self
-            .t
-            .matvec(&ones)
-            .expect("dimensions are consistent by construction");
+        // INFALLIBLE: `ones` was just built with this PH's own phase count.
+        let t1 = self.t.matvec(&ones).expect("dimensions consistent by construction");
         let mut exit = t1;
         exit.scale(-1.0);
         exit
@@ -247,6 +245,7 @@ impl PhaseType {
         // where P = I + T / q and q >= max |T_ii|.
         let n = self.phases();
         let q = (0..n).map(|i| -self.t[(i, i)]).fold(0.0_f64, f64::max) * 1.0001 + 1e-12;
+        // INFALLIBLE: both operands are n x n for this PH's phase count n.
         let p = DMatrix::identity(n)
             .add(&self.t.scaled(1.0 / q))
             .expect("shapes agree");

@@ -82,6 +82,8 @@ fn balanced_h2_skewness(scv: f64) -> f64 {
         return 2.0; // exponential limit
     }
     // Build the balanced H2 with unit mean and read its skewness exactly.
+    // INFALLIBLE: the `scv <= 1.0` early return above leaves exactly the
+    // builder's documented feasible range.
     let (p, r1, r2) = crate::builders::hyperexp2_balanced(1.0, scv)
         .expect("scv >= 1 is feasible by construction");
     let a1 = 1.0 / r1;

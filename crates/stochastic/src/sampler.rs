@@ -32,9 +32,9 @@ impl MapSampler {
     /// never triggers this).
     #[must_use]
     pub fn new<R: Rng + ?Sized>(map: &Map, rng: &mut R) -> Self {
-        let pi = map
-            .embedded_stationary()
-            .expect("validated MAP has an embedded stationary distribution");
+        // INFALLIBLE: documented panic contract — `Map::new` validation
+        // guarantees the embedded chain has a stationary distribution.
+        let pi = map.embedded_stationary().expect("validated MAP has a stationary law");
         let u: f64 = rng.gen();
         let mut cumulative = 0.0;
         let mut phase = 0;

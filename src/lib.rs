@@ -43,8 +43,6 @@
 //! assert!(bounds.system_throughput.contains(exact.system_throughput, 1e-6));
 //! ```
 
-#![deny(missing_docs)]
-#![warn(clippy::all)]
 
 /// Re-export of [`mapqn_core`]: the network model, exact solver and bounds.
 pub mod core {
