@@ -13,24 +13,67 @@
 //! references now cover the same populations the LP bounds and sweeps are
 //! run at (e.g. the SCV=16 case study at `N = 60+`, or the TPC-W model at
 //! its full 384-browser population).
+//!
+//! ## Generator representations
+//!
+//! The CTMC generator can be held two ways, selected by
+//! [`ExactOptions::representation`]:
+//!
+//! * **Materialized** — BFS enumeration streamed into a flat CSR
+//!   ([`build_state_space`]), solved by [`stationary_auto`] (dense GTH below
+//!   its threshold, sparse engine above). Memory is `O(nnz)`.
+//! * **Factored** — the per-station Kronecker blocks of
+//!   [`crate::FactoredGenerator`]; rows of `Qᵀ` are synthesized on demand
+//!   and the sparse engine iterates without the generator ever existing.
+//!   Memory is `O(Σ station blocks)`; the Gauss–Seidel ladder rungs are
+//!   skipped (they need materialized rows) and the solve starts at Jacobi.
+//!
+//! The default, [`GeneratorRepresentation::Auto`], estimates the bytes a
+//! materialized solve would hold and goes implicit only above
+//! [`ExactOptions::materialize_bytes_ceiling`].
 
+use crate::factored::FactoredGenerator;
 use crate::metrics::NetworkMetrics;
 use crate::network::{ClosedNetwork, StationKind};
-use crate::statespace::{build_state_space, NetworkState};
+use crate::statespace::build_state_space;
 use crate::Result;
-use mapqn_markov::{stationary_auto, SteadyStateOptions};
+use mapqn_markov::{stationary_auto, stationary_sparse_op, SparseSteadyOptions, SteadyStateOptions};
+
+/// How the exact solver represents the CTMC generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GeneratorRepresentation {
+    /// Estimate the materialized footprint and pick: flat CSR below
+    /// [`ExactOptions::materialize_bytes_ceiling`], implicit Kronecker above.
+    #[default]
+    Auto,
+    /// Always enumerate and materialize the flat CSR generator.
+    Materialized,
+    /// Always solve through the implicit [`FactoredGenerator`] — no
+    /// generator in memory, Jacobi/power ladder rungs only.
+    Factored,
+}
 
 /// Options for the exact solver.
 #[derive(Debug, Clone, Copy)]
 pub struct ExactOptions {
-    /// Maximum number of CTMC states to enumerate before giving up. The
-    /// default admits the `10^6`–`10^7`-state chains the sparse engine can
-    /// solve; memory is roughly 150 bytes per state plus 20 bytes per
-    /// transition at that scale.
+    /// Maximum number of CTMC states before giving up. What that ceiling
+    /// costs depends on the representation: a *materialized* solve holds the
+    /// flat CSR generator and its transpose — roughly 150 bytes per state
+    /// plus 40 bytes per transition, i.e. tens of GiB at `10^7` states — so
+    /// in practice it tops out around the `10^6`-state regime; a *factored*
+    /// solve stores only the per-station blocks (kilobytes) plus the
+    /// iteration vectors (`O(n)` floats), so the full `10^7` default is
+    /// reachable and the binding constraint becomes sweep time, not memory.
     pub max_states: usize,
     /// Steady-state solver options (tolerances, dense/sparse threshold,
     /// preconditioner and worker count of the sparse engine).
     pub steady_state: SteadyStateOptions,
+    /// Which generator representation to solve through.
+    pub representation: GeneratorRepresentation,
+    /// Memory ceiling (bytes) for [`GeneratorRepresentation::Auto`]: when
+    /// the estimated materialized footprint (CSR + transpose) exceeds this,
+    /// the solver goes implicit. Default 8 GiB.
+    pub materialize_bytes_ceiling: usize,
 }
 
 impl Default for ExactOptions {
@@ -38,6 +81,8 @@ impl Default for ExactOptions {
         Self {
             max_states: 10_000_000,
             steady_state: SteadyStateOptions::default(),
+            representation: GeneratorRepresentation::default(),
+            materialize_bytes_ceiling: 8 << 30,
         }
     }
 }
@@ -74,91 +119,154 @@ pub fn solve_exact_with(
     network: &ClosedNetwork,
     options: &ExactOptions,
 ) -> Result<NetworkMetrics> {
+    let factored = match options.representation {
+        GeneratorRepresentation::Materialized => None,
+        GeneratorRepresentation::Factored => {
+            Some(FactoredGenerator::new(network, options.max_states)?)
+        }
+        GeneratorRepresentation::Auto => {
+            // Building the factored operator is cheap (kilobytes); use its
+            // footprint estimate to decide whether materializing is safe.
+            let op = FactoredGenerator::new(network, options.max_states)?;
+            (op.flat_csr_bytes_estimate() > options.materialize_bytes_ceiling).then_some(op)
+        }
+    };
+    if let Some(op) = factored {
+        return solve_exact_factored(network, &op, options);
+    }
+
     let space = build_state_space(network, options.max_states)?;
     let pi = stationary_auto(space.ctmc(), &options.steady_state)?;
 
-    let m = network.num_stations();
-    let n = network.population();
-    let mut throughput = vec![0.0; m];
-    let mut busy = vec![0.0; m];
-    let mut mean_queue_length = vec![0.0; m];
-    let mut queue_length_distribution = vec![vec![0.0; n + 1]; m];
-
+    let mut acc = MetricAccumulators::new(network);
     for (idx, state) in space.states().iter().enumerate() {
         let p = pi[idx];
         if p == 0.0 {
             continue;
         }
-        accumulate_state(
-            network,
-            state,
-            p,
-            &mut throughput,
-            &mut busy,
-            &mut mean_queue_length,
-            &mut queue_length_distribution,
-        );
+        acc.accumulate(network, &state.queue_lengths, &state.phases, p);
     }
-
-    let utilization: Vec<f64> = (0..m)
-        .map(|k| match network.station(k).kind {
-            StationKind::Queue => busy[k],
-            StationKind::Delay => mean_queue_length[k] / n as f64,
-        })
-        .collect();
-    let response_time: Vec<f64> = (0..m)
-        .map(|k| {
-            if throughput[k] > 0.0 {
-                mean_queue_length[k] / throughput[k]
-            } else {
-                0.0
-            }
-        })
-        .collect();
-    let system_throughput = throughput[0];
-    let system_response_time = if system_throughput > 0.0 {
-        n as f64 / system_throughput
-    } else {
-        f64::INFINITY
-    };
-
-    Ok(NetworkMetrics {
-        throughput,
-        utilization,
-        mean_queue_length,
-        response_time,
-        queue_length_distribution,
-        system_throughput,
-        system_response_time,
-        population: n,
-    })
+    Ok(acc.finish(network))
 }
 
-/// Adds one state's contribution (weighted by its probability) to the metric
-/// accumulators.
-fn accumulate_state(
+/// Implicit-operator exact solve: no state enumeration, no generator in
+/// memory. The sparse engine iterates through the factored operator; the
+/// metric pass unranks each state index back into queue lengths and phases.
+fn solve_exact_factored(
     network: &ClosedNetwork,
-    state: &NetworkState,
-    probability: f64,
-    throughput: &mut [f64],
-    busy: &mut [f64],
-    mean_queue_length: &mut [f64],
-    queue_length_distribution: &mut [Vec<f64>],
-) {
-    for k in 0..network.num_stations() {
-        let n_k = state.queue_lengths[k];
-        let station = network.station(k);
-        queue_length_distribution[k][n_k as usize] += probability;
-        mean_queue_length[k] += probability * f64::from(n_k);
-        if n_k > 0 {
-            busy[k] += probability;
-            let phase = state.phases[k] as usize;
-            let completion_rate = station.service.completion_rate(phase);
-            let multiplier = match station.kind {
-                StationKind::Queue => 1.0,
-                StationKind::Delay => f64::from(n_k),
-            };
-            throughput[k] += probability * completion_rate * multiplier;
+    op: &FactoredGenerator,
+    options: &ExactOptions,
+) -> Result<NetworkMetrics> {
+    // Mirror `stationary_auto`'s option merge for its sparse branch: the
+    // caller's headline tolerance / iteration cap constrain the sparse
+    // engine the same way whichever representation runs.
+    let ss = &options.steady_state;
+    let sparse_options = SparseSteadyOptions {
+        tolerance: ss.sparse.tolerance.min(ss.tolerance),
+        max_sweeps: ss.sparse.max_sweeps.min(ss.max_iterations),
+        ..ss.sparse
+    };
+    let report = stationary_sparse_op(op, &sparse_options).map_err(crate::CoreError::from)?;
+    let pi = report.pi;
+
+    let mut acc = MetricAccumulators::new(network);
+    let mut queues = vec![0u16; network.num_stations()];
+    let mut phases = vec![0u8; network.num_stations()];
+    for (idx, &p) in pi.as_slice().iter().enumerate() {
+        if p == 0.0 {
+            continue;
+        }
+        op.state_into(idx, &mut queues, &mut phases);
+        acc.accumulate(network, &queues, &phases, p);
+    }
+    Ok(acc.finish(network))
+}
+
+/// Running per-station metric sums, fed one state at a time and finished
+/// into [`NetworkMetrics`]. Both generator representations drive the same
+/// accumulator — the materialized path from stored
+/// [`crate::statespace::NetworkState`]s, the factored path from an
+/// unranking scratch buffer — so the reductions cannot drift apart.
+struct MetricAccumulators {
+    throughput: Vec<f64>,
+    busy: Vec<f64>,
+    mean_queue_length: Vec<f64>,
+    queue_length_distribution: Vec<Vec<f64>>,
+}
+
+impl MetricAccumulators {
+    fn new(network: &ClosedNetwork) -> Self {
+        let m = network.num_stations();
+        let n = network.population();
+        Self {
+            throughput: vec![0.0; m],
+            busy: vec![0.0; m],
+            mean_queue_length: vec![0.0; m],
+            queue_length_distribution: vec![vec![0.0; n + 1]; m],
+        }
+    }
+
+    /// Adds one state's contribution, weighted by its probability.
+    fn accumulate(
+        &mut self,
+        network: &ClosedNetwork,
+        queue_lengths: &[u16],
+        phases: &[u8],
+        probability: f64,
+    ) {
+        for k in 0..network.num_stations() {
+            let n_k = queue_lengths[k];
+            let station = network.station(k);
+            self.queue_length_distribution[k][n_k as usize] += probability;
+            self.mean_queue_length[k] += probability * f64::from(n_k);
+            if n_k > 0 {
+                self.busy[k] += probability;
+                let phase = phases[k] as usize;
+                let completion_rate = station.service.completion_rate(phase);
+                let multiplier = match station.kind {
+                    StationKind::Queue => 1.0,
+                    StationKind::Delay => f64::from(n_k),
+                };
+                self.throughput[k] += probability * completion_rate * multiplier;
+            }
+        }
+    }
+
+    /// Derives the remaining performance indexes from the accumulated sums.
+    fn finish(self, network: &ClosedNetwork) -> NetworkMetrics {
+        let m = network.num_stations();
+        let n = network.population();
+        let utilization: Vec<f64> = (0..m)
+            .map(|k| match network.station(k).kind {
+                StationKind::Queue => self.busy[k],
+                StationKind::Delay => self.mean_queue_length[k] / n as f64,
+            })
+            .collect();
+        let response_time: Vec<f64> = (0..m)
+            .map(|k| {
+                if self.throughput[k] > 0.0 {
+                    self.mean_queue_length[k] / self.throughput[k]
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let system_throughput = self.throughput[0];
+        let system_response_time = if system_throughput > 0.0 {
+            n as f64 / system_throughput
+        } else {
+            f64::INFINITY
+        };
+
+        NetworkMetrics {
+            throughput: self.throughput,
+            utilization,
+            mean_queue_length: self.mean_queue_length,
+            response_time,
+            queue_length_distribution: self.queue_length_distribution,
+            system_throughput,
+            system_response_time,
+            population: n,
         }
     }
 }
@@ -325,5 +433,92 @@ mod tests {
             ..ExactOptions::default()
         };
         assert!(solve_exact_with(&net, &opts).is_err());
+        // The limit binds the factored representation too — before any
+        // solve work starts.
+        let opts = ExactOptions {
+            max_states: 5,
+            representation: GeneratorRepresentation::Factored,
+            ..ExactOptions::default()
+        };
+        assert!(solve_exact_with(&net, &opts).is_err());
+    }
+
+    #[test]
+    fn factored_representation_matches_materialized_metrics() {
+        // The same model solved through both generator representations must
+        // report the same performance indexes (1e-8 — the bench gate's
+        // agreement level) even though one path never builds the generator.
+        let net = crate::templates::figure5_network(6, 16.0, 0.5).unwrap();
+        let materialized = solve_exact_with(
+            &net,
+            &ExactOptions {
+                representation: GeneratorRepresentation::Materialized,
+                ..ExactOptions::default()
+            },
+        )
+        .unwrap();
+        let implicit = solve_exact_with(
+            &net,
+            &ExactOptions {
+                representation: GeneratorRepresentation::Factored,
+                ..ExactOptions::default()
+            },
+        )
+        .unwrap();
+        for k in 0..net.num_stations() {
+            assert!(approx_eq(materialized.throughput[k], implicit.throughput[k], 1e-8));
+            assert!(approx_eq(materialized.utilization[k], implicit.utilization[k], 1e-8));
+            assert!(approx_eq(
+                materialized.mean_queue_length[k],
+                implicit.mean_queue_length[k],
+                1e-8
+            ));
+            for level in 0..=net.population() {
+                assert!(approx_eq(
+                    materialized.queue_length_distribution[k][level],
+                    implicit.queue_length_distribution[k][level],
+                    1e-8
+                ));
+            }
+        }
+        assert!(approx_eq(
+            materialized.system_response_time,
+            implicit.system_response_time,
+            1e-8
+        ));
+        assert!(approx_eq(implicit.total_jobs(), 6.0, 1e-8));
+    }
+
+    #[test]
+    fn auto_representation_routes_on_the_memory_ceiling() {
+        // With a 1-byte ceiling Auto must take the implicit path (and still
+        // produce the right answer); with the default 8 GiB ceiling it
+        // stays materialized on a small model (pinned by bitwise equality
+        // with the explicit materialized solve — same engine, same path).
+        let net = tandem_exponential(2.0, 3.0, 5);
+        let forced_implicit = solve_exact_with(
+            &net,
+            &ExactOptions {
+                materialize_bytes_ceiling: 1,
+                ..ExactOptions::default()
+            },
+        )
+        .unwrap();
+        let materialized = solve_exact_with(
+            &net,
+            &ExactOptions {
+                representation: GeneratorRepresentation::Materialized,
+                ..ExactOptions::default()
+            },
+        )
+        .unwrap();
+        let default_auto = solve_exact_with(&net, &ExactOptions::default()).unwrap();
+        assert_eq!(default_auto.throughput, materialized.throughput);
+        assert_eq!(default_auto.mean_queue_length, materialized.mean_queue_length);
+        assert!(approx_eq(
+            forced_implicit.system_throughput,
+            materialized.system_throughput,
+            1e-8
+        ));
     }
 }

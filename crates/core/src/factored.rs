@@ -1,0 +1,638 @@
+//! Build-nothing ("factored") representation of the network CTMC generator.
+//!
+//! [`crate::statespace::build_state_space`] enumerates the reachable states
+//! by BFS and streams the generator into a flat CSR — `O(nnz)` memory, the
+//! single obstacle between the sparse exact engine and the `10^6`–`10^7`-
+//! state regime. This module exploits what the paper's §3 construction
+//! makes explicit: the generator of a MAP queueing network is assembled
+//! from *small per-station blocks* (hidden-transition and completion rates
+//! of each service process, one routing row per station) combined over a
+//! product-structured state space. [`FactoredGenerator`] stores exactly
+//! those blocks — `O(Σ station blocks)` memory, a few kilobytes — and
+//! synthesizes any row of `Qᵀ` on demand, so the sparse engine
+//! ([`mapqn_markov::stationary_sparse_op`]) can iterate `π ↦ πQ` without
+//! the generator ever existing in memory.
+//!
+//! ## State indexing
+//!
+//! A global state is `(queue_lengths, phases)` exactly as in
+//! [`crate::statespace::NetworkState`]. The factored index space is the
+//! full product
+//!
+//! ```text
+//! { compositions of N into M non-negative parts } × Π_k phases_k
+//! ```
+//!
+//! indexed as `index = comp_rank(queues) · Π phases + phase_rank(phases)`,
+//! with compositions ranked lexicographically (closed-form rank/unrank via
+//! a binomial table — the "hockey-stick" telescope makes ranking `O(M)`)
+//! and phases in mixed radix with station 0 most significant.
+//!
+//! ## Relation to the BFS space
+//!
+//! The factored space is a *superset* of the BFS-reachable space whenever
+//! idle-station phase freezing makes some phase combinations unreachable.
+//! For the paper's template networks the two coincide (the existing
+//! state-space tests pin `space.len() == global_state_count()`), and in
+//! general the extra states are transient — every iterative rung the
+//! implicit path runs (Jacobi, uniformized power) drives their probability
+//! to zero, so the computed `π` matches the materialized solve on the
+//! reachable states. The factored path does assume the product-space chain
+//! has a **single recurrent class** (true for irreducible routing and
+//! irreducible MAPs); on a decomposable model the materialized BFS path
+//! remains the reference.
+
+use crate::network::{ClosedNetwork, StationKind};
+use crate::statespace::NetworkState;
+use crate::{CoreError, Result};
+use mapqn_linalg::GeneratorOp;
+use mapqn_markov::MarkovError;
+
+/// Per-station rate blocks — the only model data the factored generator
+/// keeps (the same tables `build_state_space` pre-extracts before its BFS).
+struct StationBlock {
+    kind: StationKind,
+    phases: usize,
+    /// `hidden[h][h']` — phase change without completion.
+    hidden: Vec<Vec<f64>>,
+    /// `completion[h][h']` — completion moving the phase `h -> h'`.
+    completion: Vec<Vec<f64>>,
+    /// Row sums of `hidden` (total hidden out-rate per phase).
+    hidden_out: Vec<f64>,
+    /// Row sums of `completion` (total completion rate per phase).
+    completion_out: Vec<f64>,
+}
+
+/// The network generator `Q` stored as per-station factor blocks plus a
+/// combinatorial state ranking — never materialized. Implements
+/// [`GeneratorOp`], so it plugs straight into
+/// [`mapqn_markov::stationary_sparse_op`]; `csr_transpose()` returns `None`
+/// and the engine's ladder starts at the Jacobi rung.
+pub struct FactoredGenerator {
+    blocks: Vec<StationBlock>,
+    /// `routing[j][k]` — routing probability station `j` → `k`.
+    routing: Vec<Vec<f64>>,
+    /// Row sums of `routing` (1 for a stochastic matrix; kept exact).
+    routing_out: Vec<f64>,
+    population: usize,
+    m: usize,
+    /// `Π_k phases_k` — size of the phase block per composition.
+    phase_prod: usize,
+    /// Mixed-radix strides of the phase digits (station 0 most significant).
+    phase_strides: Vec<usize>,
+    /// Pascal table `binom[n][k]` for `n <= N + M`, `k <= M`.
+    binom: Vec<Vec<usize>>,
+    n_states: usize,
+}
+
+impl FactoredGenerator {
+    /// Builds the factored generator of `network`.
+    ///
+    /// # Errors
+    /// * [`CoreError::InvalidNetwork`] when the population does not fit the
+    ///   state encoding (mirrors [`crate::statespace::build_state_space`]).
+    /// * [`MarkovError::StateSpaceTooLarge`] (wrapped in
+    ///   [`CoreError::Markov`]) when the product space exceeds `max_states`.
+    pub fn new(network: &ClosedNetwork, max_states: usize) -> Result<Self> {
+        if network.population() > usize::from(u16::MAX) {
+            return Err(CoreError::InvalidNetwork(format!(
+                "population {} does not fit the state encoding",
+                network.population()
+            )));
+        }
+        let total = network.global_state_count();
+        if total > max_states as u128 {
+            return Err(CoreError::Markov(MarkovError::StateSpaceTooLarge {
+                limit: max_states,
+            }));
+        }
+        let m = network.num_stations();
+        let population = network.population();
+
+        let mut blocks = Vec::with_capacity(m);
+        for station in network.stations() {
+            let phases = station.service.phases();
+            let mut hidden = vec![vec![0.0; phases]; phases];
+            let mut completion = vec![vec![0.0; phases]; phases];
+            for h in 0..phases {
+                for h2 in 0..phases {
+                    hidden[h][h2] = station.service.hidden_rate(h, h2);
+                    completion[h][h2] = station.service.completion_rate_to(h, h2);
+                }
+            }
+            let hidden_out = hidden.iter().map(|r| r.iter().sum()).collect();
+            let completion_out = completion.iter().map(|r| r.iter().sum()).collect();
+            blocks.push(StationBlock {
+                kind: station.kind,
+                phases,
+                hidden,
+                completion,
+                hidden_out,
+                completion_out,
+            });
+        }
+        let routing: Vec<Vec<f64>> = (0..m)
+            .map(|j| (0..m).map(|k| network.routing(j, k)).collect())
+            .collect();
+        let routing_out = routing.iter().map(|r| r.iter().sum()).collect();
+
+        let mut phase_strides = vec![1usize; m];
+        for s in (0..m.saturating_sub(1)).rev() {
+            phase_strides[s] = phase_strides[s + 1] * blocks[s + 1].phases;
+        }
+        let phase_prod = phase_strides[0] * blocks[0].phases;
+
+        // Pascal table up to n = N + M, k = M. Every rank the indexing uses
+        // is below the validated total state count, so these adds cannot
+        // saturate on any input that passed the `max_states` check; the
+        // saturating form only guards pathological direct constructions.
+        let mut binom = vec![vec![0usize; m + 1]; population + m + 1];
+        for row in binom.iter_mut() {
+            row[0] = 1;
+        }
+        for n in 1..=population + m {
+            for k in 1..=m.min(n) {
+                let below = binom[n - 1][k - 1];
+                let carry = if k < n { binom[n - 1][k] } else { 0 };
+                binom[n][k] = below.saturating_add(carry);
+            }
+        }
+
+        // INFALLIBLE: total <= max_states <= usize::MAX was checked above.
+        let n_states = usize::try_from(total).expect("validated state count fits usize");
+
+        Ok(Self {
+            blocks,
+            routing,
+            routing_out,
+            population,
+            m,
+            phase_prod,
+            phase_strides,
+            binom,
+            n_states,
+        })
+    }
+
+    /// Number of compositions of `n` jobs into `parts` stations,
+    /// `C(n + parts - 1, parts - 1)`.
+    fn comp_count(&self, n: usize, parts: usize) -> usize {
+        if parts == 0 {
+            return usize::from(n == 0);
+        }
+        self.binom[n + parts - 1][parts - 1]
+    }
+
+    /// Lexicographic rank of a composition (`O(M)` via the hockey-stick
+    /// telescope: `Σ_{v < q} C(R - v + c - 1, c - 1) = C(R + c, c) -
+    /// C(R - q + c, c)`).
+    fn comp_rank(&self, q: &[usize]) -> usize {
+        let mut rank = 0usize;
+        let mut remaining = self.population;
+        for (s, &q_s) in q.iter().take(self.m.saturating_sub(1)).enumerate() {
+            let c = self.m - 1 - s;
+            rank += self.binom[remaining + c][c] - self.binom[remaining - q_s + c][c];
+            remaining -= q_s;
+        }
+        rank
+    }
+
+    /// Inverse of [`FactoredGenerator::comp_rank`] (linear digit scan).
+    fn comp_unrank(&self, mut rank: usize, q: &mut [usize]) {
+        let mut remaining = self.population;
+        let leading = self.m.saturating_sub(1);
+        for (s, slot) in q.iter_mut().take(leading).enumerate() {
+            let c = self.m - 1 - s;
+            let mut v = 0usize;
+            loop {
+                let cnt = self.comp_count(remaining - v, c);
+                if rank < cnt {
+                    break;
+                }
+                rank -= cnt;
+                v += 1;
+            }
+            *slot = v;
+            remaining -= v;
+        }
+        q[self.m - 1] = remaining;
+    }
+
+    /// Decodes `index` into queue lengths and phases (slices of length `M`).
+    ///
+    /// # Panics
+    /// Panics if `index >= num_states()` or a slice has the wrong length.
+    pub fn state_into(&self, index: usize, queues: &mut [u16], phases: &mut [u8]) {
+        assert!(index < self.n_states, "state index out of range");
+        assert_eq!(queues.len(), self.m);
+        assert_eq!(phases.len(), self.m);
+        let mut q = vec![0usize; self.m];
+        self.comp_unrank(index / self.phase_prod, &mut q);
+        let prank = index % self.phase_prod;
+        for s in 0..self.m {
+            queues[s] = q[s] as u16;
+            phases[s] = ((prank / self.phase_strides[s]) % self.blocks[s].phases) as u8;
+        }
+    }
+
+    /// The [`NetworkState`] at `index` (allocating convenience around
+    /// [`FactoredGenerator::state_into`]).
+    #[must_use]
+    pub fn state_at(&self, index: usize) -> NetworkState {
+        let mut queues = vec![0u16; self.m];
+        let mut phases = vec![0u8; self.m];
+        self.state_into(index, &mut queues, &mut phases);
+        NetworkState {
+            queue_lengths: queues,
+            phases,
+        }
+    }
+
+    /// The factored index of `state`, or `None` if the state does not
+    /// belong to this network's product space (wrong dimensions, population
+    /// mismatch, phase out of range).
+    #[must_use]
+    pub fn index_of(&self, state: &NetworkState) -> Option<usize> {
+        if state.queue_lengths.len() != self.m || state.phases.len() != self.m {
+            return None;
+        }
+        let total: usize = state.queue_lengths.iter().map(|&v| usize::from(v)).sum();
+        if total != self.population {
+            return None;
+        }
+        let mut prank = 0usize;
+        for s in 0..self.m {
+            let h = usize::from(state.phases[s]);
+            if h >= self.blocks[s].phases {
+                return None;
+            }
+            prank += h * self.phase_strides[s];
+        }
+        let q: Vec<usize> = state.queue_lengths.iter().map(|&v| usize::from(v)).collect();
+        Some(self.comp_rank(&q) * self.phase_prod + prank)
+    }
+
+    /// Occupancy-dependent service multiplier of station `s` holding `n_s`
+    /// jobs (queues serve one job, delay stations serve all in parallel).
+    fn multiplier(&self, s: usize, n_s: usize) -> f64 {
+        match self.blocks[s].kind {
+            StationKind::Queue => 1.0,
+            StationKind::Delay => n_s as f64,
+        }
+    }
+
+    /// Diagonal entry `Q[j, j]` of the state with queues `q` and phase
+    /// digits `phs`: minus the total rate of all transitions the BFS
+    /// builder keeps (self-loops — completion back into the same phase
+    /// routed to the same station — are dropped there and contribute
+    /// nothing here either).
+    fn diagonal_of(&self, q: &[usize], phs: &[usize]) -> f64 {
+        let mut out_rate = 0.0;
+        for s in 0..self.m {
+            if q[s] == 0 {
+                continue;
+            }
+            let block = &self.blocks[s];
+            let h = phs[s];
+            let mult = self.multiplier(s, q[s]);
+            let self_loop = block.completion[h][h] * self.routing[s][s];
+            out_rate += (block.hidden_out[h]
+                + block.completion_out[h] * self.routing_out[s]
+                - self_loop)
+                * mult;
+        }
+        -out_rate
+    }
+}
+
+impl GeneratorOp for FactoredGenerator {
+    fn num_states(&self) -> usize {
+        self.n_states
+    }
+
+    fn left_apply_rows_into(&self, start: usize, x: &[f64], out: &mut [f64]) {
+        assert!(
+            start + out.len() <= self.n_states,
+            "FactoredGenerator: row block out of range"
+        );
+        assert!(
+            x.len() >= self.n_states,
+            "FactoredGenerator: input vector shorter than the state space"
+        );
+        let m = self.m;
+        // Per-chunk scratch: the composition of the current phase block
+        // (shared by `phase_prod` consecutive rows), its phase digits, and
+        // the predecessor composition of job-movement in-transitions.
+        let mut q = vec![0usize; m];
+        let mut phs = vec![0usize; m];
+        let mut q_pred = vec![0usize; m];
+        let mut cached_crank = usize::MAX;
+        for (row, o) in out.iter_mut().enumerate() {
+            let j = start + row;
+            let crank = j / self.phase_prod;
+            let prank = j % self.phase_prod;
+            if crank != cached_crank {
+                self.comp_unrank(crank, &mut q);
+                cached_crank = crank;
+            }
+            for (s, ph) in phs.iter_mut().enumerate() {
+                *ph = (prank / self.phase_strides[s]) % self.blocks[s].phases;
+            }
+
+            // Diagonal contribution of state j itself.
+            let mut acc = x[j] * self.diagonal_of(&q, &phs);
+
+            // In-transitions that change only a phase digit: a hidden
+            // transition at busy station s, or a completion at s routed
+            // back to s (the queues are unchanged, so the predecessor
+            // shares this composition rank).
+            for s in 0..m {
+                if q[s] == 0 {
+                    continue;
+                }
+                let block = &self.blocks[s];
+                let h_j = phs[s];
+                let mult = self.multiplier(s, q[s]);
+                let p_ss = self.routing[s][s];
+                let stride = self.phase_strides[s];
+                let base = j - h_j * stride;
+                for h in 0..block.phases {
+                    if h == h_j {
+                        continue;
+                    }
+                    let rate = block.hidden[h][h_j] + block.completion[h][h_j] * p_ss;
+                    if rate > 0.0 {
+                        acc += x[base + h * stride] * (rate * mult);
+                    }
+                }
+            }
+
+            // In-transitions that move a job: a completion at station a
+            // routed to station b != a. The predecessor holds one more job
+            // at a and one fewer at b, with an arbitrary pre-completion
+            // phase h at a (all other digits equal).
+            for a in 0..m {
+                let block = &self.blocks[a];
+                let h_a = phs[a];
+                let stride = self.phase_strides[a];
+                for b in 0..m {
+                    if b == a || q[b] == 0 {
+                        continue;
+                    }
+                    let p_ab = self.routing[a][b];
+                    if p_ab <= 0.0 {
+                        continue;
+                    }
+                    q_pred.copy_from_slice(&q);
+                    q_pred[a] += 1;
+                    q_pred[b] -= 1;
+                    let base = self.comp_rank(&q_pred) * self.phase_prod + (prank - h_a * stride);
+                    let mult = self.multiplier(a, q[a] + 1);
+                    for h in 0..block.phases {
+                        let cpl = block.completion[h][h_a];
+                        if cpl > 0.0 {
+                            acc += x[base + h * stride] * (cpl * p_ab * mult);
+                        }
+                    }
+                }
+            }
+
+            *o = acc;
+        }
+    }
+
+    fn diagonal_rows_into(&self, start: usize, out: &mut [f64]) {
+        assert!(
+            start + out.len() <= self.n_states,
+            "FactoredGenerator: row block out of range"
+        );
+        let m = self.m;
+        let mut q = vec![0usize; m];
+        let mut phs = vec![0usize; m];
+        let mut cached_crank = usize::MAX;
+        for (row, o) in out.iter_mut().enumerate() {
+            let j = start + row;
+            let crank = j / self.phase_prod;
+            let prank = j % self.phase_prod;
+            if crank != cached_crank {
+                self.comp_unrank(crank, &mut q);
+                cached_crank = crank;
+            }
+            for (s, ph) in phs.iter_mut().enumerate() {
+                *ph = (prank / self.phase_strides[s]) % self.blocks[s].phases;
+            }
+            *o = self.diagonal_of(&q, &phs);
+        }
+    }
+
+    fn nnz(&self) -> usize {
+        // Per-state upper bound on the entries one apply gathers: for each
+        // station, the phase-change fan-in plus the job-movement fan-in,
+        // plus the diagonal. An overestimate only moves the engine's
+        // parallel cut-in earlier; it is never used as an exact count.
+        let mut per_state = 1usize;
+        for (s, block) in self.blocks.iter().enumerate() {
+            let routing_nnz = self.routing[s].iter().filter(|&&p| p > 0.0).count();
+            per_state = per_state.saturating_add(
+                block.phases.saturating_mul(1 + routing_nnz),
+            );
+        }
+        self.n_states.saturating_mul(per_state)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        let f = std::mem::size_of::<f64>();
+        let u = std::mem::size_of::<usize>();
+        let mut bytes = self.phase_strides.len() * u;
+        for block in &self.blocks {
+            bytes += 2 * block.phases * block.phases * f; // hidden + completion
+            bytes += 2 * block.phases * f; // row sums
+        }
+        bytes += self.m * self.m * f + self.m * f; // routing + row sums
+        bytes += self.binom.iter().map(|r| r.len() * u).sum::<usize>();
+        bytes
+    }
+}
+
+impl FactoredGenerator {
+    /// Conservative estimate of the bytes a *materialized* solve of this
+    /// chain would hold: the flat CSR generator plus the transposed copy
+    /// the sparse engine builds (values, column indices and row pointers of
+    /// both). The memory-aware representation routing in
+    /// [`crate::exact::ExactOptions`] compares this against its ceiling.
+    #[must_use]
+    pub fn flat_csr_bytes_estimate(&self) -> usize {
+        let f = std::mem::size_of::<f64>();
+        let u = std::mem::size_of::<usize>();
+        let one_csr = self
+            .nnz()
+            .saturating_mul(f + u)
+            .saturating_add((self.n_states + 1) * u);
+        one_csr.saturating_mul(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::statespace::build_state_space;
+    use crate::templates::{figure5_network, tpcw_network, TpcwParameters};
+    use mapqn_markov::{
+        stationary_sparse, stationary_sparse_op, SparsePreconditioner, SparseSteadyOptions,
+    };
+
+    /// The factored generator must agree row-for-row with the BFS-built
+    /// CSR under the index mapping — same off-diagonals, same diagonal
+    /// (self-loop dropping included).
+    fn assert_matches_materialized(network: &crate::ClosedNetwork) {
+        let space = build_state_space(network, 1_000_000).unwrap();
+        let op = FactoredGenerator::new(network, 1_000_000).unwrap();
+        assert_eq!(
+            space.len(),
+            op.num_states(),
+            "template networks reach the full product space"
+        );
+        let n = op.num_states();
+
+        // Map BFS index -> factored index.
+        let to_factored: Vec<usize> = space
+            .states()
+            .iter()
+            .map(|s| op.index_of(s).expect("reachable state must rank"))
+            .collect();
+
+        // Compare x^T Q through both representations on a generic probe.
+        let x_bfs: Vec<f64> = (0..n).map(|i| 1.0 / (to_factored[i] as f64 + 2.0)).collect();
+        let mut x_fac = vec![0.0; n];
+        for (bfs, &fac) in to_factored.iter().enumerate() {
+            x_fac[fac] = x_bfs[bfs];
+        }
+        let qt = space.ctmc().generator().transpose();
+        let mut y_bfs = vec![0.0; n];
+        qt.matvec_rows_into(0, &x_bfs, &mut y_bfs);
+        let mut y_fac = vec![0.0; n];
+        op.left_apply_rows_into(0, &x_fac, &mut y_fac);
+        for (bfs, &fac) in to_factored.iter().enumerate() {
+            assert!(
+                (y_bfs[bfs] - y_fac[fac]).abs() < 1e-10,
+                "row {bfs}: materialized {} vs factored {}",
+                y_bfs[bfs],
+                y_fac[fac]
+            );
+        }
+
+        // Diagonals agree too (exit rates drive the Jacobi rung).
+        let mut diag = vec![0.0; n];
+        op.diagonal_rows_into(0, &mut diag);
+        for (bfs, &fac) in to_factored.iter().enumerate() {
+            let d = space.ctmc().generator().get(bfs, bfs);
+            assert!((d - diag[fac]).abs() < 1e-10, "diagonal at {bfs}");
+        }
+    }
+
+    #[test]
+    fn matches_materialized_generator_on_figure5() {
+        // SCV=16 exercises MAP phases; SCV=4 a different correlation mix.
+        assert_matches_materialized(&figure5_network(4, 16.0, 0.5).unwrap());
+        assert_matches_materialized(&figure5_network(3, 4.0, 0.2).unwrap());
+    }
+
+    #[test]
+    fn matches_materialized_generator_on_tpcw() {
+        // Delay station + MAP queues: the occupancy-dependent multiplier
+        // and the frozen-phase conventions all in one model.
+        let net = tpcw_network(&TpcwParameters {
+            browsers: 4,
+            ..TpcwParameters::default()
+        })
+        .unwrap();
+        assert_matches_materialized(&net);
+    }
+
+    #[test]
+    fn rank_unrank_roundtrip_covers_the_space() {
+        let net = figure5_network(5, 16.0, 0.5).unwrap();
+        let op = FactoredGenerator::new(&net, 1_000_000).unwrap();
+        for idx in 0..op.num_states() {
+            let state = op.state_at(idx);
+            assert_eq!(op.index_of(&state), Some(idx));
+            let total: u16 = state.queue_lengths.iter().sum();
+            assert_eq!(usize::from(total), net.population());
+        }
+    }
+
+    #[test]
+    fn implicit_solve_matches_materialized_on_the_jacobi_rung() {
+        // The cross-representation regression: force the same ladder rung
+        // (Jacobi — the first one both representations can run) on both
+        // paths and require pi agreement at 1e-10 under the index mapping.
+        let net = figure5_network(6, 16.0, 0.5).unwrap();
+        let space = build_state_space(&net, 100_000).unwrap();
+        let op = FactoredGenerator::new(&net, 100_000).unwrap();
+        let opts = SparseSteadyOptions {
+            preconditioner: SparsePreconditioner::Jacobi,
+            ..SparseSteadyOptions::default()
+        };
+        let materialized = stationary_sparse(space.ctmc(), &opts).unwrap();
+        let implicit = stationary_sparse_op(&op, &opts).unwrap();
+        assert_eq!(
+            materialized.used, implicit.used,
+            "both paths must report the same ladder rung"
+        );
+        for (bfs, state) in space.states().iter().enumerate() {
+            let fac = op.index_of(state).unwrap();
+            let diff = (materialized.pi[bfs] - implicit.pi[fac]).abs();
+            assert!(diff <= 1e-10, "pi diff {diff} at state {bfs}");
+        }
+    }
+
+    #[test]
+    fn memory_accounting_is_block_sized() {
+        let net = figure5_network(40, 16.0, 0.5).unwrap();
+        let space = build_state_space(&net, 100_000).unwrap();
+        let op = FactoredGenerator::new(&net, 100_000).unwrap();
+        let flat = GeneratorOp::memory_bytes(space.ctmc().generator());
+        let factored = op.memory_bytes();
+        assert!(
+            factored * 5 <= flat,
+            "factored {factored} bytes should be >=5x below flat {flat} bytes"
+        );
+        // The flat estimate is an upper bound on the real CSR (x2 for the
+        // engine's transpose).
+        assert!(op.flat_csr_bytes_estimate() >= 2 * flat);
+    }
+
+    #[test]
+    fn limits_and_invalid_states_are_rejected() {
+        let net = figure5_network(30, 16.0, 0.5).unwrap();
+        assert!(matches!(
+            FactoredGenerator::new(&net, 10),
+            Err(CoreError::Markov(MarkovError::StateSpaceTooLarge { limit: 10 }))
+        ));
+        let op = FactoredGenerator::new(&net, 1_000_000).unwrap();
+        // Wrong population.
+        assert_eq!(
+            op.index_of(&NetworkState {
+                queue_lengths: vec![1, 0, 0],
+                phases: vec![0, 0, 0],
+            }),
+            None
+        );
+        // Phase out of range.
+        assert_eq!(
+            op.index_of(&NetworkState {
+                queue_lengths: vec![30, 0, 0],
+                phases: vec![7, 0, 0],
+            }),
+            None
+        );
+        // Wrong dimension.
+        assert_eq!(
+            op.index_of(&NetworkState {
+                queue_lengths: vec![30],
+                phases: vec![0],
+            }),
+            None
+        );
+    }
+}

@@ -51,6 +51,7 @@
 pub mod bounds;
 pub mod decomposition;
 pub mod exact;
+pub mod factored;
 pub mod metrics;
 pub mod mva;
 pub mod network;
@@ -63,7 +64,8 @@ pub use bounds::{
     BoundInterval, EnsembleRunner, MarginalBoundSolver, PerformanceIndex, PopulationSweep,
     Quality, Scenario, SolveDiagnostics,
 };
-pub use exact::solve_exact;
+pub use exact::{solve_exact, ExactOptions, GeneratorRepresentation};
+pub use factored::FactoredGenerator;
 pub use metrics::NetworkMetrics;
 pub use network::{ClosedNetwork, Station, StationKind};
 pub use service::Service;

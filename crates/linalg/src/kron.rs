@@ -46,13 +46,37 @@ pub fn kron(a: &DMatrix, b: &DMatrix) -> DMatrix {
 pub fn kron_sum(a: &DMatrix, b: &DMatrix) -> DMatrix {
     assert!(a.is_square(), "kron_sum: A must be square");
     assert!(b.is_square(), "kron_sum: B must be square");
-    let ia = DMatrix::identity(a.nrows());
-    let ib = DMatrix::identity(b.nrows());
-    let left = kron(a, &ib);
-    let right = kron(&ia, b);
-    // INFALLIBLE: both products are (na*nb) x (na*nb) for square A and B.
-    left.add(&right)
-        .expect("kron_sum: shapes are consistent by construction")
+    let na = a.nrows();
+    let nb = b.nrows();
+    // Write both halves of the sum straight into the output — no identity
+    // matrices and no full-size intermediate products. The `A ⊗ I_b` half
+    // lands first and the `I_a ⊗ B` half is added on top, the same
+    // accumulation order as summing the two materialized products, so the
+    // result is bit-for-bit what the old two-product implementation built.
+    let mut out = DMatrix::zeros(na * nb, na * nb);
+    for i in 0..na {
+        for j in 0..na {
+            let aij = a[(i, j)];
+            if aij == 0.0 {
+                continue;
+            }
+            for p in 0..nb {
+                out[(i * nb + p, j * nb + p)] = aij;
+            }
+        }
+    }
+    for i in 0..na {
+        for p in 0..nb {
+            for q in 0..nb {
+                let bpq = b[(p, q)];
+                if bpq == 0.0 {
+                    continue;
+                }
+                out[(i * nb + p, i * nb + q)] += bpq;
+            }
+        }
+    }
+    out
 }
 
 /// Kronecker product of a list of matrices, folded left to right.
@@ -135,6 +159,18 @@ mod tests {
         // The diagonal of the Kronecker sum is the sum of the diagonals.
         assert_eq!(qs[(0, 0)], -4.0);
         assert_eq!(qs[(3, 3)], -6.0);
+    }
+
+    #[test]
+    fn kron_sum_is_bitwise_the_two_product_construction() {
+        // The in-place kron_sum must reproduce A ⊗ I + I ⊗ B exactly —
+        // same values, same accumulation order, no identity intermediates.
+        let a = DMatrix::from_row_slice(3, 3, &[-1.5, 1.0, 0.5, 0.25, -0.5, 0.25, 2.0, 1.0, -3.0]);
+        let b = DMatrix::from_row_slice(2, 2, &[-0.7, 0.7, 0.3, -0.3]);
+        let reference = kron(&a, &DMatrix::identity(2))
+            .add(&kron(&DMatrix::identity(3), &b))
+            .unwrap();
+        assert_eq!(kron_sum(&a, &b), reference);
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //! * LU factorization with partial pivoting for linear solves, inverses and
 //!   determinants ([`lu::Lu`]),
 //! * Kronecker products and sums (used when composing independent MAP phase
-//!   processes),
+//!   processes), plus the implicit-operator abstraction over CTMC
+//!   generators ([`op::GeneratorOp`]) with a build-nothing Kronecker
+//!   representation ([`op::KronGenerator`]) whose matvec gathers straight
+//!   from the factor blocks,
 //! * sparse CSR matrices with matrix-vector products for large
 //!   continuous-time Markov chain generators ([`sparse::CsrMatrix`]), a
 //!   streaming row-by-row assembler for building them without a coordinate
@@ -38,6 +41,7 @@ pub mod dense;
 pub mod kron;
 pub mod lu;
 pub mod norms;
+pub mod op;
 pub mod sparse;
 pub mod vector;
 
@@ -46,6 +50,7 @@ pub use csc::CscMatrix;
 pub use dense::DMatrix;
 pub use kron::{kron, kron_sum};
 pub use lu::Lu;
+pub use op::{GeneratorOp, KronGenerator};
 pub use sparse::{CsrAssembler, CsrMatrix};
 pub use vector::DVector;
 

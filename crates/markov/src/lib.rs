@@ -39,7 +39,8 @@ pub mod transient;
 pub use ctmc::Ctmc;
 pub use dtmc::Dtmc;
 pub use sparse_steady::{
-    stationary_sparse, SparsePreconditioner, SparseSteadyOptions, SparseSteadyReport, SpawnMode,
+    stationary_sparse, stationary_sparse_op, SparsePreconditioner, SparseSteadyOptions,
+    SparseSteadyReport, SpawnMode,
 };
 pub use statespace::{StateSpace, StateSpaceBuilder};
 pub use steady::{

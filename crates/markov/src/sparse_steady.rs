@@ -8,17 +8,26 @@
 //! scales the exact path into that regime without ever densifying the
 //! generator:
 //!
-//! * the generator stays in the shared CSR type of `mapqn-linalg` (it is
-//!   assembled row-by-row by [`crate::statespace::StateSpaceBuilder`]); the
-//!   engine builds its transpose once, because every left operation
-//!   (`π ↦ πQ`, Gauss–Seidel on `πQ = 0`) is a row scan of `Q^T`;
+//! * the engine sees the generator only through the
+//!   [`mapqn_linalg::GeneratorOp`] operator trait — row-block left products
+//!   (every left operation `π ↦ πQ` is a row scan of `Q^T`), diagonal
+//!   extraction and nnz accounting. Two representations drive it:
+//!   a **materialized** transposed CSR (assembled row-by-row by
+//!   [`crate::statespace::StateSpaceBuilder`], transposed once on entry —
+//!   the classic path, via [`stationary_sparse`]) and the **implicit**
+//!   build-nothing representations behind [`stationary_sparse_op`] (e.g.
+//!   [`mapqn_linalg::KronGenerator`]), whose matvec gathers entries from
+//!   per-station factor blocks and never forms `Q` at all;
 //! * iterations are **preconditioned**: the default is a block-hybrid
 //!   Gauss–Seidel sweep (exact Gauss–Seidel inside fixed row blocks,
 //!   Jacobi across blocks), with a Jacobi-preconditioned power iteration —
 //!   power iteration under *adaptive uniformization*, where each state is
 //!   uniformized at its own exit rate instead of the global maximum — and
 //!   plain globally-uniformized power iteration as progressively more
-//!   conservative fallbacks;
+//!   conservative fallbacks. The Gauss–Seidel/SOR rungs need concrete row
+//!   access to `Q^T` and run only when
+//!   [`mapqn_linalg::GeneratorOp::csr_transpose`] exposes it; on implicit
+//!   operators the ladder starts at the (fully matvec-based) Jacobi rung;
 //! * convergence is decided by the **residual** `‖πQ‖_∞ <= tol * q_max`
 //!   (with `q_max` the largest exit rate, so the tolerance is
 //!   dimensionless), not by the change between iterates — a stalled
@@ -41,7 +50,7 @@
 
 use crate::ctmc::Ctmc;
 use crate::{MarkovError, Result};
-use mapqn_linalg::{CsrMatrix, DVector};
+use mapqn_linalg::{CsrMatrix, DVector, GeneratorOp};
 use mapqn_par::{ScopedPool, WorkPool};
 
 /// Whether `MAPQN_SPARSE_DEBUG` residual tracing is on — read once per
@@ -197,8 +206,25 @@ impl ParExec<'_> {
 }
 
 /// `out = x^T A` computed as row scans of `A^T`, parallel over row blocks of
-/// `at = A^T`. Every output element is written by exactly one block, so the
-/// result is bitwise independent of the worker count.
+/// the operator. Every output element is written by exactly one block, so
+/// the result is bitwise independent of the worker count — for materialized
+/// *and* implicit representations alike, because each output entry of a
+/// [`GeneratorOp::left_apply_rows_into`] block depends only on `x` and its
+/// own row.
+pub(crate) fn par_left_apply<O: GeneratorOp + ?Sized>(
+    exec: &ParExec<'_>,
+    op: &O,
+    block_len: usize,
+    x: &[f64],
+    out: &mut [f64],
+) {
+    exec.for_each_chunk(out, block_len, |start, chunk| {
+        op.left_apply_rows_into(start, x, chunk);
+    });
+}
+
+/// CSR-typed alias of [`par_left_apply`] kept for the transient engine:
+/// `at` is `A^T` and the apply is its row-block matvec.
 pub(crate) fn par_left_mul(
     exec: &ParExec<'_>,
     at: &CsrMatrix,
@@ -206,9 +232,7 @@ pub(crate) fn par_left_mul(
     x: &[f64],
     out: &mut [f64],
 ) {
-    exec.for_each_chunk(out, block_len, |start, chunk| {
-        at.matvec_rows_into(start, x, chunk);
-    });
+    par_left_apply(exec, at, block_len, x, out);
 }
 
 /// The worker count a solve should use, from the requested width and the
@@ -227,12 +251,14 @@ pub(crate) fn effective_workers(per_round_work: usize, threshold: usize, workers
     }
 }
 
-/// Shared per-solve context: `Q^T`, the per-state exit rates and the
-/// round executor.
-struct Kernel<'a> {
-    /// Transposed generator: row `i` lists the inflow rates `Q[j, i]` (plus
-    /// the diagonal), the access pattern of every left operation.
-    qt: CsrMatrix,
+/// Shared per-solve context: the generator operator, the per-state exit
+/// rates and the round executor.
+struct Kernel<'a, O: GeneratorOp + ?Sized> {
+    /// The generator, seen through the operator trait. For the materialized
+    /// representation this is the transposed CSR (row `i` lists the inflow
+    /// rates `Q[j, i]` plus the diagonal — the access pattern of every left
+    /// operation); implicit representations gather the same rows on the fly.
+    op: &'a O,
     /// Exit rate of each state, `-Q[i, i]`.
     exit: Vec<f64>,
     /// Largest exit rate (the residual/tolerance scale).
@@ -241,17 +267,16 @@ struct Kernel<'a> {
     block_len: usize,
 }
 
-impl<'a> Kernel<'a> {
-    fn new(ctmc: &Ctmc, exec: ParExec<'a>, options: &SparseSteadyOptions) -> Self {
-        let qt = ctmc.generator().transpose();
-        let n = qt.nrows();
-        let mut exit = vec![0.0_f64; n];
-        for (i, e) in exit.iter_mut().enumerate() {
-            *e = -qt.get(i, i);
-        }
-        let q_max = exit.iter().fold(0.0_f64, |m, &e| m.max(e));
+impl<'a, O: GeneratorOp + ?Sized> Kernel<'a, O> {
+    fn new(
+        op: &'a O,
+        exit: Vec<f64>,
+        q_max: f64,
+        exec: ParExec<'a>,
+        options: &SparseSteadyOptions,
+    ) -> Self {
         Self {
-            qt,
+            op,
             exit,
             q_max,
             exec,
@@ -262,7 +287,7 @@ impl<'a> Kernel<'a> {
     /// Residual `‖xQ‖_∞` of a candidate vector, using `scratch` as the
     /// product buffer.
     fn residual(&self, x: &[f64], scratch: &mut [f64]) -> f64 {
-        par_left_mul(&self.exec, &self.qt, self.block_len, x, scratch);
+        par_left_apply(&self.exec, self.op, self.block_len, x, scratch);
         scratch.iter().fold(0.0_f64, |m, r| m.max(r.abs()))
     }
 
@@ -274,9 +299,15 @@ impl<'a> Kernel<'a> {
     /// below zero transiently, which the residual monitoring catches if it
     /// turns into divergence.
     fn gauss_seidel_sweep(&self, omega: f64, x_old: &[f64], x_new: &mut [f64]) {
-        let rp = self.qt.row_ptr();
-        let ci = self.qt.col_indices();
-        let vals = self.qt.values();
+        let qt = self
+            .op
+            .csr_transpose()
+            // INFALLIBLE: the fallback ladder schedules Gauss-Seidel rungs
+            // only when `csr_transpose()` returned Some (materialized).
+            .expect("gauss_seidel_sweep requires a materialized operator");
+        let rp = qt.row_ptr();
+        let ci = qt.col_indices();
+        let vals = qt.values();
         let exit = &self.exit;
         self.exec.for_each_chunk(x_new, self.block_len, |start, chunk| {
             for bi in 0..chunk.len() {
@@ -311,7 +342,7 @@ impl<'a> Kernel<'a> {
                 *zi = w_old[i] / (exit[i] * (1.0 + margin));
             }
         });
-        par_left_mul(&self.exec, &self.qt, self.block_len, z, w_new);
+        par_left_apply(&self.exec, self.op, self.block_len, z, w_new);
         self.exec.for_each_chunk(w_new, self.block_len, |start, chunk| {
             for (bi, wi) in chunk.iter_mut().enumerate() {
                 *wi += w_old[start + bi];
@@ -334,7 +365,7 @@ impl<'a> Kernel<'a> {
 
     /// One globally uniformized power step `x ← x (I + Q/q)`.
     fn uniformized_power_step(&self, q: f64, x_old: &[f64], x_new: &mut [f64]) {
-        par_left_mul(&self.exec, &self.qt, self.block_len, x_old, x_new);
+        par_left_apply(&self.exec, self.op, self.block_len, x_old, x_new);
         self.exec.for_each_chunk(x_new, self.block_len, |start, chunk| {
             for (bi, xi) in chunk.iter_mut().enumerate() {
                 *xi = x_old[start + bi] + *xi / q;
@@ -385,44 +416,106 @@ pub fn stationary_sparse(ctmc: &Ctmc, options: &SparseSteadyOptions) -> Result<S
             used: options.preconditioner,
         });
     }
+    // Materialize the transpose once: every left operation is a row scan of
+    // `Q^T`, and a `CsrMatrix` used as a `GeneratorOp` *is* `Q^T`.
+    let qt = ctmc.generator().transpose();
+    stationary_sparse_op(&qt, options)
+}
+
+/// Computes the stationary distribution of a CTMC presented as a
+/// [`GeneratorOp`] — the representation-agnostic entry behind
+/// [`stationary_sparse`]. Materialized operators (a transposed-CSR
+/// generator) run the full fallback ladder and are bit-for-bit identical to
+/// [`stationary_sparse`] on the same chain; implicit operators (e.g.
+/// [`mapqn_linalg::KronGenerator`] or the factored network generator in
+/// `mapqn-core`) skip the Gauss–Seidel/SOR rungs — which need concrete row
+/// access — and start the ladder at the Jacobi rung.
+///
+/// # Errors
+/// Returns [`MarkovError::NoConvergence`] when no preconditioner reaches the
+/// tolerance within its sweep budget.
+pub fn stationary_sparse_op<O: GeneratorOp + ?Sized>(
+    op: &O,
+    options: &SparseSteadyOptions,
+) -> Result<SparseSteadyReport> {
+    let n = op.num_states();
+    if n == 1 {
+        return Ok(SparseSteadyReport {
+            pi: DVector::from_vec(vec![1.0]),
+            sweeps: 0,
+            residual: 0.0,
+            used: options.preconditioner,
+        });
+    }
+    // Per-state exit rates from the operator's diagonal (serial: this is a
+    // one-time O(n) extraction, not a per-sweep round).
+    let mut exit = vec![0.0_f64; n];
+    op.diagonal_rows_into(0, &mut exit);
+    for e in exit.iter_mut() {
+        *e = -*e;
+    }
+    let q_max = exit.iter().fold(0.0_f64, |m, &e| m.max(e));
+    if q_max == 0.0 {
+        // All-zero generator: every distribution is stationary; return the
+        // uniform one (matching the dense path's behaviour on such chains).
+        return Ok(SparseSteadyReport {
+            pi: DVector::constant(n, 1.0 / n as f64),
+            sweeps: 0,
+            residual: 0.0,
+            used: options.preconditioner,
+        });
+    }
     // Per-round work of this chain is one scan of the generator (every
     // sweep, matvec and residual touches each nonzero once); the worker
-    // decision therefore keys on the nonzero count, not the state count.
+    // decision therefore keys on the nonzero count — for implicit operators
+    // the equivalent apply operation count — not the state count.
     // Clamped to the number of row blocks a round actually has — a worker
     // beyond that could never claim a chunk, yet every round's quiesce
     // would still wait for it to wake and decrement.
     let row_blocks = n.div_ceil(options.block_len.max(1));
-    let workers = effective_workers(
-        ctmc.generator().nnz(),
-        options.parallel_threshold,
-        options.workers,
-    )
-    .min(row_blocks.max(1));
+    let workers = effective_workers(op.nnz(), options.parallel_threshold, options.workers)
+        .min(row_blocks.max(1));
     match options.spawn_mode {
         SpawnMode::Persistent => {
-            // The tentpole: one pool spans the whole solve, so every one of
-            // the (often thousands of) sweep rounds reuses the same parked
-            // workers instead of spawning fresh threads.
+            // One pool spans the whole solve, so every one of the (often
+            // thousands of) sweep rounds reuses the same parked workers
+            // instead of spawning fresh threads.
             WorkPool::new(workers).scoped(|pool| {
-                solve_on(Kernel::new(ctmc, ParExec::Persistent(pool), options), options)
+                solve_on(
+                    Kernel::new(op, exit, q_max, ParExec::Persistent(pool), options),
+                    options,
+                )
             })
         }
         SpawnMode::PerCall => solve_on(
-            Kernel::new(ctmc, ParExec::PerCall(WorkPool::new(workers)), options),
+            Kernel::new(
+                op,
+                exit,
+                q_max,
+                ParExec::PerCall(WorkPool::new(workers)),
+                options,
+            ),
             options,
         ),
     }
 }
 
-/// The solve body, generic over the round executor: the fallback ladder of
-/// preconditioned sweep loops described in the module docs.
-fn solve_on(kernel: Kernel<'_>, options: &SparseSteadyOptions) -> Result<SparseSteadyReport> {
-    let n = kernel.qt.nrows();
+/// The solve body, generic over the operator and round executor: the
+/// fallback ladder of preconditioned sweep loops described in the module
+/// docs.
+fn solve_on<O: GeneratorOp + ?Sized>(
+    kernel: Kernel<'_, O>,
+    options: &SparseSteadyOptions,
+) -> Result<SparseSteadyReport> {
+    let n = kernel.exit.len();
     let target = options.tolerance * kernel.q_max;
     let check_every = options.check_every.max(1);
     // Gauss–Seidel and Jacobi divide by per-state exit rates; a state with
     // no outflow (reducible chain) restricts the menu to the power path.
     let rates_ok = kernel.exit.iter().all(|&e| e > 0.0);
+    // Gauss–Seidel/SOR sweeps walk concrete rows of `Q^T`; implicit
+    // operators cannot supply them, so those rungs are left off the ladder.
+    let materialized = kernel.op.csr_transpose().is_some();
 
     // Fallback ladder: the requested preconditioner first; an over-relaxed
     // Gauss–Seidel that diverges retreats to the plain sweep before the
@@ -430,9 +523,11 @@ fn solve_on(kernel: Kernel<'_>, options: &SparseSteadyOptions) -> Result<SparseS
     let mut attempts: Vec<(SparsePreconditioner, f64)> = Vec::new();
     match options.preconditioner {
         SparsePreconditioner::GaussSeidel => {
-            attempts.push((SparsePreconditioner::GaussSeidel, options.sor_omega));
-            if (options.sor_omega - 1.0).abs() > 1e-12 {
-                attempts.push((SparsePreconditioner::GaussSeidel, 1.0));
+            if materialized {
+                attempts.push((SparsePreconditioner::GaussSeidel, options.sor_omega));
+                if (options.sor_omega - 1.0).abs() > 1e-12 {
+                    attempts.push((SparsePreconditioner::GaussSeidel, 1.0));
+                }
             }
             attempts.push((SparsePreconditioner::Jacobi, 1.0));
             attempts.push((SparsePreconditioner::Power, 1.0));
@@ -881,6 +976,108 @@ mod tests {
             gs.sweeps,
             power.sweeps
         );
+    }
+
+    #[test]
+    fn op_entry_is_bitwise_identical_to_the_ctmc_entry() {
+        // `stationary_sparse` now routes through `stationary_sparse_op` on
+        // the transposed CSR; pin that calling the op entry directly is the
+        // same solve, bit for bit, including the diagnostics.
+        let ctmc = birth_death(CHAIN, 2.0, 3.0);
+        let qt = ctmc.generator().transpose();
+        for pre in [
+            SparsePreconditioner::GaussSeidel,
+            SparsePreconditioner::Jacobi,
+            SparsePreconditioner::Power,
+        ] {
+            let opts = SparseSteadyOptions {
+                preconditioner: pre,
+                ..SparseSteadyOptions::default()
+            };
+            let via_ctmc = stationary_sparse(&ctmc, &opts).unwrap();
+            let via_op = stationary_sparse_op(&qt, &opts).unwrap();
+            assert_eq!(via_ctmc.pi.as_slice(), via_op.pi.as_slice());
+            assert_eq!(via_ctmc.sweeps, via_op.sweeps);
+            assert_eq!(via_ctmc.used, via_op.used);
+        }
+    }
+
+    #[test]
+    fn implicit_kron_operator_solves_and_skips_the_gs_rungs() {
+        // Two independent birth-death processes: the joint generator is the
+        // Kronecker sum of the factors. Solve it twice — materialized (the
+        // dense kron_sum, assembled into a CTMC) and implicit (the
+        // KronGenerator, which never forms Q) — and check the implicit
+        // ladder skipped Gauss–Seidel (it needs concrete rows) yet landed
+        // on the same distribution.
+        use mapqn_linalg::kron::kron_sum;
+        use mapqn_linalg::{DMatrix, KronGenerator};
+
+        let block = |n: usize, birth: f64, death: f64| {
+            let mut m = DMatrix::zeros(n, n);
+            for i in 0..n - 1 {
+                m[(i, i + 1)] = birth;
+                m[(i, i)] -= birth;
+                m[(i + 1, i)] = death;
+                m[(i + 1, i + 1)] -= death;
+            }
+            m
+        };
+        let a = block(4, 2.0, 3.0);
+        let b = block(3, 1.0, 1.7);
+        let dense = kron_sum(&a, &b);
+        let n = dense.nrows();
+        let mut triplets = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                if dense[(i, j)] != 0.0 {
+                    triplets.push((i, j, dense[(i, j)]));
+                }
+            }
+        }
+        let ctmc = Ctmc::from_transitions(
+            n,
+            &triplets
+                .iter()
+                .filter(|(i, j, _)| i != j)
+                .copied()
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let reference = stationary_dense_gth(&ctmc).unwrap();
+
+        let op = KronGenerator::kron_sum(&[a, b]).unwrap();
+        let opts = SparseSteadyOptions::default();
+        let report = stationary_sparse_op(&op, &opts).unwrap();
+        assert_ne!(
+            report.used,
+            SparsePreconditioner::GaussSeidel,
+            "implicit operators must not run the Gauss-Seidel rung"
+        );
+        assert!(
+            report.residual <= opts.tolerance * ctmc.max_exit_rate() * 1.01,
+            "residual {}",
+            report.residual
+        );
+        for (p, r) in report.pi.as_slice().iter().zip(reference.as_slice()) {
+            assert!((p - r).abs() < 1e-10, "pi entry {p} vs GTH {r}");
+        }
+
+        // The chunked implicit matvec path is bitwise worker-invariant
+        // through the whole solve.
+        let base = SparseSteadyOptions {
+            block_len: 4,
+            parallel_threshold: 0,
+            ..SparseSteadyOptions::default()
+        };
+        let serial =
+            stationary_sparse_op(&op, &SparseSteadyOptions { workers: 1, ..base }).unwrap();
+        for workers in [2, 4] {
+            let parallel =
+                stationary_sparse_op(&op, &SparseSteadyOptions { workers, ..base }).unwrap();
+            assert_eq!(serial.pi.as_slice(), parallel.pi.as_slice());
+            assert_eq!(serial.sweeps, parallel.sweeps);
+        }
     }
 
     #[test]

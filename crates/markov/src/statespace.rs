@@ -65,6 +65,15 @@ impl<S: Clone + Eq + Hash> StateSpace<S> {
     pub fn ctmc(&self) -> &Ctmc {
         &self.ctmc
     }
+
+    /// Bytes held by the materialized flat-CSR generator (row pointers plus
+    /// column/value pairs). This is what the implicit Kronecker
+    /// representation avoids; benchmarks record the ratio between the two.
+    #[must_use]
+    pub fn generator_memory_bytes(&self) -> usize {
+        use mapqn_linalg::GeneratorOp;
+        self.ctmc.generator().memory_bytes()
+    }
 }
 
 /// Builder that explores the reachable state space from an initial state.

@@ -68,6 +68,17 @@
 //! boundaries. Results are therefore **bitwise identical at any worker
 //! count**, which the sparse-engine and ensemble gates verify.
 //!
+//! The chunk contract deliberately says nothing about *which inputs* a
+//! chunk may read: a chunk job may gather from arbitrary, non-contiguous
+//! positions of shared read-only inputs (the access pattern of the
+//! shuffle-style Kronecker matvec in `mapqn-linalg`, where output element
+//! `j` reads mixed-radix-permuted positions of `x`), and invariance still
+//! holds because the inputs are immutable for the whole round and each
+//! output element is produced by exactly one chunk in a fixed serial order
+//! within that chunk. What the contract does require of the closure is that
+//! it derive everything from `(start, chunk)` and round-immutable data —
+//! never from the worker id or claim order.
+//!
 //! Panics in a job are propagated to the caller after the round has
 //! quiesced (every participant has stopped touching the borrowed data), so
 //! a poisoned round fails loudly instead of hanging — and the pool remains
@@ -668,6 +679,51 @@ mod tests {
                 let expected: Vec<usize> = (1..=100).collect();
                 assert_eq!(data, expected, "threads={threads} chunk_len={chunk_len}");
             }
+        }
+    }
+
+    #[test]
+    fn chunked_permuted_gather_is_bitwise_worker_invariant() {
+        // The access pattern of the shuffle-style Kronecker matvec: each
+        // output element gathers from mixed-radix-*permuted* positions of a
+        // shared read-only input (reads cross chunk boundaries freely).
+        // The chunk contract guarantees bitwise invariance anyway: inputs
+        // are immutable for the round, and each output element is written
+        // once, in a fixed serial order within its chunk.
+        let n = 3 * 4 * 5;
+        let x: Vec<f64> = (0..n).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let gather = |j: usize| -> f64 {
+            // Digit-reverse j in mixed radix (3, 4, 5) and combine a few
+            // permuted reads with non-associative float accumulation.
+            let (d0, r) = (j / 20, j % 20);
+            let (d1, d2) = (r / 5, r % 5);
+            let p = d2 * 12 + d1 * 3 + d0;
+            x[p] * 0.7 + x[(p + 17) % n] * 0.2 + x[j] * 0.1
+        };
+        let mut serial = vec![0.0f64; n];
+        WorkPool::new(1).for_each_chunk(&mut serial, 7, |start, chunk| {
+            for (i, o) in chunk.iter_mut().enumerate() {
+                *o = gather(start + i);
+            }
+        });
+        for threads in SWEEP_THREADS {
+            let mut out = vec![0.0f64; n];
+            WorkPool::new(*threads).for_each_chunk(&mut out, 7, |start, chunk| {
+                for (i, o) in chunk.iter_mut().enumerate() {
+                    *o = gather(start + i);
+                }
+            });
+            assert_eq!(serial, out, "threads = {threads}");
+            // Persistent-scope rounds obey the same contract.
+            let mut scoped_out = vec![0.0f64; n];
+            WorkPool::new(*threads).scoped(|pool| {
+                pool.for_each_chunk(&mut scoped_out, 7, |start, chunk| {
+                    for (i, o) in chunk.iter_mut().enumerate() {
+                        *o = gather(start + i);
+                    }
+                });
+            });
+            assert_eq!(serial, scoped_out, "scoped threads = {threads}");
         }
     }
 
