@@ -1,0 +1,294 @@
+//! Fluid-engine harness: measures the mean-field tier's validation band
+//! against the sparse-exact reference and proves its N-independence, then
+//! gates the `solve()` front door's millions-of-users acceptance criterion.
+//!
+//! Three sections, all recorded in `BENCH_fluid.json`:
+//!
+//! 1. **Validation band** — on the fig-5 (SCV=4), fig-8 (SCV=16) and TPC-W
+//!    families, the fluid fixed point is compared with the sparse-exact
+//!    reference at every population on the feasibility grid. The recorded
+//!    error is the population-normalized mean-queue-length gap
+//!    `max_k |q_fluid_k - q_exact_k| / N` (plus the relative throughput
+//!    gap). Gate: at the largest feasible population the MQL gap is ≤ 5%
+//!    on every family, and the cross-family maximum at the reference
+//!    population stays inside the band the router quotes
+//!    (`mapqn_core::FLUID_MQL_BAND`) — the quoted error model is measured
+//!    here, never assumed.
+//! 2. **N-independence** — µs/solve and fixed-point iterations of the
+//!    fluid engine on the TPC-W template at N = 10^3 vs N = 10^6.
+//!    Gate: the two timings agree within 2x (per-iteration cost carries no
+//!    `N` anywhere).
+//! 3. **Front door** — `solve()` on the TPC-W template at N = 10^6 with a
+//!    1% accuracy target. Gate: answers through the fluid tier in < 1 ms
+//!    with a quoted error band and `accuracy_met`.
+//!
+//! Run with `cargo run --release -p mapqn-bench --bin bench_fluid`.
+//! `MAPQN_SCALE=full` enlarges the grids.
+
+use mapqn_bench::{Scale, Table};
+use mapqn_core::fluid::solve_fluid;
+use mapqn_core::solve::{
+    fluid_error_estimate, solve, Accuracy, Engine, FLUID_BAND_REFERENCE_POPULATION,
+    FLUID_MQL_BAND,
+};
+use mapqn_core::templates::{figure5_network, tpcw_network, TpcwParameters};
+use mapqn_core::{solve_exact, ClosedNetwork};
+use mapqn_linalg::SolveBudget;
+use std::time::Instant;
+
+/// One family of the validation sweep: a name, a network builder over the
+/// population and the feasibility grid the band is measured on. The grids
+/// are per-family because "largest feasible N" is: the fig-8 family needs
+/// `N = 144` before its 1/N band crosses the 5% gate, and its sparse-exact
+/// reference is still cheap there, while the fig-5 reference is an order
+/// of magnitude slower per state and stops at the reference population.
+struct Family {
+    name: &'static str,
+    build: fn(usize) -> ClosedNetwork,
+    grid: Vec<usize>,
+}
+
+fn fig5_scv4(n: usize) -> ClosedNetwork {
+    figure5_network(n, 4.0, 0.5).expect("figure5 network")
+}
+
+fn fig8_scv16(n: usize) -> ClosedNetwork {
+    figure5_network(n, 16.0, 0.5).expect("figure8 network")
+}
+
+fn tpcw(n: usize) -> ClosedNetwork {
+    let params = TpcwParameters {
+        browsers: n,
+        ..TpcwParameters::default()
+    };
+    tpcw_network(&params).expect("tpcw network")
+}
+
+/// One measured point of the validation band.
+struct BandPoint {
+    family: &'static str,
+    population: usize,
+    states: u128,
+    mql_err: f64,
+    throughput_err: f64,
+    iterations: usize,
+    exact_ms: f64,
+    fluid_us: f64,
+}
+
+fn measure_band(families: &[Family]) -> Vec<BandPoint> {
+    let mut points = Vec::new();
+    for family in families {
+        for &n in &family.grid {
+            let network = (family.build)(n);
+            let states = network.global_state_count();
+            let start = Instant::now();
+            let exact = solve_exact(&network).expect("sparse-exact reference");
+            let exact_ms = start.elapsed().as_secs_f64() * 1e3;
+            let start = Instant::now();
+            let fluid = solve_fluid(&network).expect("fluid fixed point");
+            let fluid_us = start.elapsed().as_secs_f64() * 1e6;
+            let mql_err = exact
+                .mean_queue_length
+                .iter()
+                .zip(&fluid.metrics.mean_queue_length)
+                .map(|(qe, qf)| (qe - qf).abs() / n as f64)
+                .fold(0.0f64, f64::max);
+            let throughput_err = (exact.system_throughput
+                - fluid.metrics.system_throughput)
+                .abs()
+                / exact.system_throughput;
+            points.push(BandPoint {
+                family: family.name,
+                population: n,
+                states,
+                mql_err,
+                throughput_err,
+                iterations: fluid.iterations,
+                exact_ms,
+                fluid_us,
+            });
+        }
+    }
+    points
+}
+
+/// Times `solve_fluid` over `reps` repetitions, returning (µs/solve,
+/// iterations of the last solve).
+fn time_fluid(network: &ClosedNetwork, reps: usize) -> (f64, usize) {
+    // Warmup outside the timed window.
+    let mut iterations = solve_fluid(network).expect("fluid warmup").iterations;
+    let start = Instant::now();
+    for _ in 0..reps {
+        iterations = solve_fluid(network).expect("fluid solve").iterations;
+    }
+    (start.elapsed().as_secs_f64() * 1e6 / reps as f64, iterations)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    // Every grid doubles up through the reference population the router's
+    // band is quoted at; every point stays well inside the sparse-exact
+    // regime (<= ~2 * 10^4 states for these 3-station families).
+    let base = vec![12, 24, 48, FLUID_BAND_REFERENCE_POPULATION];
+    let fig8_grid: Vec<usize> = scale.pick(
+        vec![12, 24, 48, FLUID_BAND_REFERENCE_POPULATION, 144],
+        vec![12, 24, 48, FLUID_BAND_REFERENCE_POPULATION, 144, 192],
+    );
+    let families = [
+        Family { name: "fig5_scv4", build: fig5_scv4, grid: base.clone() },
+        Family { name: "fig8_scv16", build: fig8_scv16, grid: fig8_grid },
+        Family { name: "tpcw", build: tpcw, grid: base },
+    ];
+
+    println!("Fluid validation band vs the sparse-exact reference");
+    println!("(error = max_k |q_fluid - q_exact| / N, X err relative)\n");
+    let points = measure_band(&families);
+    let mut table = Table::new(&[
+        "family", "N", "states", "mql err", "X err", "iters", "exact ms", "fluid us",
+    ]);
+    for p in &points {
+        table.add_row(vec![
+            p.family.to_string(),
+            p.population.to_string(),
+            p.states.to_string(),
+            format!("{:.4}", p.mql_err),
+            format!("{:.4}", p.throughput_err),
+            p.iterations.to_string(),
+            format!("{:.1}", p.exact_ms),
+            format!("{:.1}", p.fluid_us),
+        ]);
+    }
+    table.print();
+
+    // Band summary: per-family error at the family's largest feasible
+    // population, and the cross-family maximum at the reference population
+    // (what the router quotes).
+    let band_at_largest: Vec<(&str, usize, f64)> = families
+        .iter()
+        .map(|f| {
+            let largest = *f.grid.last().expect("non-empty grid");
+            let err = points
+                .iter()
+                .filter(|p| p.family == f.name && p.population == largest)
+                .map(|p| p.mql_err)
+                .fold(0.0f64, f64::max);
+            (f.name, largest, err)
+        })
+        .collect();
+    let measured_band = points
+        .iter()
+        .filter(|p| p.population == FLUID_BAND_REFERENCE_POPULATION)
+        .map(|p| p.mql_err)
+        .fold(0.0f64, f64::max);
+    println!(
+        "\nmeasured band at N = {FLUID_BAND_REFERENCE_POPULATION}: {measured_band:.4} \
+         (router quotes {FLUID_MQL_BAND:.4})"
+    );
+
+    // N-independence: µs/solve at 10^3 vs 10^6 browsers.
+    let reps = scale.pick(200, 1000);
+    let (us_1k, iters_1k) = time_fluid(&tpcw(1_000), reps);
+    let (us_1m, iters_1m) = time_fluid(&tpcw(1_000_000), reps);
+    let ratio = (us_1m / us_1k).max(us_1k / us_1m);
+    println!(
+        "\nN-independence (TPC-W): {us_1k:.1} us/solve at N=10^3 ({iters_1k} iters), \
+         {us_1m:.1} us/solve at N=10^6 ({iters_1m} iters), ratio {ratio:.2}x (gate 2x)"
+    );
+
+    // Front-door acceptance: TPC-W at a million users, 1% target, < 1 ms.
+    let network = tpcw(1_000_000);
+    let answer = solve(&network, 1_000_000, Accuracy::Target(0.01), SolveBudget::unlimited())
+        .expect("front door must answer");
+    let front_reps = scale.pick(100, 500);
+    let start = Instant::now();
+    for _ in 0..front_reps {
+        let _ = solve(&network, 1_000_000, Accuracy::Target(0.01), SolveBudget::unlimited())
+            .expect("front door must answer");
+    }
+    let front_us = start.elapsed().as_secs_f64() * 1e6 / front_reps as f64;
+    let quoted = fluid_error_estimate(1_000_000);
+    println!(
+        "\nsolve() on TPC-W at N = 10^6: engine {}, quality {}, quoted error {:.2e}, \
+         {front_us:.1} us/solve (gate < 1000 us)",
+        answer.engine, answer.quality, answer.error_estimate
+    );
+
+    // Emit BENCH_fluid.json (hand-rolled JSON; no serde in the offline set).
+    let mut json = String::from("{\n");
+    json.push_str("  \"kernel\": \"fluid_validation_band_and_front_door\",\n");
+    json.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
+    json.push_str(
+        "  \"error_metric\": \"max_k |q_fluid_k - q_exact_k| / N vs sparse-exact\",\n",
+    );
+    json.push_str("  \"band\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"family\": \"{}\", \"population\": {}, \"states\": {}, \"mql_err\": {:.6}, \"throughput_err\": {:.6}, \"iterations\": {}, \"exact_ms\": {:.3}, \"fluid_us\": {:.3}}}{}\n",
+            p.family,
+            p.population,
+            p.states,
+            p.mql_err,
+            p.throughput_err,
+            p.iterations,
+            p.exact_ms,
+            p.fluid_us,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"reference_population\": {FLUID_BAND_REFERENCE_POPULATION},\n  \"measured_band\": {measured_band:.6},\n  \"quoted_band\": {FLUID_MQL_BAND:.6},\n"
+    ));
+    json.push_str(&format!(
+        "  \"n_independence\": {{\"us_per_solve_1e3\": {us_1k:.3}, \"us_per_solve_1e6\": {us_1m:.3}, \"iterations_1e3\": {iters_1k}, \"iterations_1e6\": {iters_1m}, \"ratio\": {ratio:.3}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"front_door_tpcw_1e6\": {{\"engine\": \"{}\", \"quality\": \"{}\", \"error_estimate\": {:.6e}, \"quoted_fluid_band\": {quoted:.6e}, \"accuracy_met\": {}, \"us_per_solve\": {front_us:.3}}}\n",
+        answer.engine, answer.quality, answer.error_estimate, answer.accuracy_met
+    ));
+    json.push_str("}\n");
+    std::fs::write("BENCH_fluid.json", &json).expect("write BENCH_fluid.json");
+    println!("\nwrote BENCH_fluid.json");
+
+    // Gates. A band regression (the fluid tier drifting away from the
+    // exact reference) or a broken N-independence must turn CI red.
+    let mut failed = false;
+    for (family, largest, err) in &band_at_largest {
+        if *err > 0.05 {
+            eprintln!(
+                "FAIL: fluid MQL error {err:.4} on {family} at N = {largest} exceeds the 5% gate"
+            );
+            failed = true;
+        }
+    }
+    if measured_band > FLUID_MQL_BAND {
+        eprintln!(
+            "FAIL: measured band {measured_band:.4} at N = {FLUID_BAND_REFERENCE_POPULATION} \
+             exceeds the quoted FLUID_MQL_BAND {FLUID_MQL_BAND:.4} — re-measure and re-pin the constant"
+        );
+        failed = true;
+    }
+    if ratio > 2.0 {
+        eprintln!(
+            "FAIL: fluid solve time varies {ratio:.2}x between N = 10^3 and N = 10^6 (gate 2x)"
+        );
+        failed = true;
+    }
+    if answer.engine != Engine::Fluid || !answer.accuracy_met {
+        eprintln!(
+            "FAIL: solve() at N = 10^6 routed to {} (accuracy_met {}) instead of the fluid tier",
+            answer.engine, answer.accuracy_met
+        );
+        failed = true;
+    }
+    if front_us > 1000.0 {
+        eprintln!(
+            "FAIL: solve() on TPC-W at N = 10^6 took {front_us:.1} us/solve (acceptance gate < 1 ms)"
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

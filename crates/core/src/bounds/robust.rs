@@ -325,7 +325,7 @@ fn bootstrap_attempt(
 /// utilizations bounded by `X_max · D_k` and 1; queue lengths by `[0, N]`.
 /// Deliberately conservative so a floor interval always contains the
 /// certified interval it stands in for.
-pub(super) fn asymptotic_floor(network: &ClosedNetwork) -> Result<NetworkBounds> {
+pub(crate) fn asymptotic_floor(network: &ClosedNetwork) -> Result<NetworkBounds> {
     let aba = aba_bounds(network)?;
     let mut x = aba.throughput;
     let all_exponential = network

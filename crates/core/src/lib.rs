@@ -19,7 +19,11 @@
 //!   ([`StationKind::Delay`]), used to model the client population of
 //!   multi-tier systems such as the paper's TPC-W testbed.
 //!
-//! Three solution techniques are provided:
+//! Four solution techniques are provided, behind one population-aware
+//! front door ([`solve()`](solve())) that picks the cheapest engine meeting the
+//! requested accuracy at the requested population and degrades — never
+//! errors — when an engine fails or a [`mapqn_linalg::SolveBudget`] runs
+//! out:
 //!
 //! 1. **Exact global balance** ([`exact::solve_exact`]): the underlying CTMC
 //!    is enumerated (streamed directly into a sparse CSR generator) and
@@ -41,6 +45,12 @@
 //!    decomposition–aggregation approximation ([`decomposition`]) — the
 //!    techniques whose failure on autocorrelated workloads motivates the
 //!    paper (Figure 4).
+//! 4. **Mean-field (fluid) limit** ([`fluid::solve_fluid`]): each station
+//!    collapsed to its drift equation (MAP service enters through the
+//!    stationary phase-mix rate), solved by damped fixed-point iteration
+//!    in microseconds *independent of the population* — the
+//!    millions-of-users tier, with its approximation error measured
+//!    against the exact engine at feasible populations, never assumed.
 //!
 //! The [`templates`] module builds the concrete networks used in the paper's
 //! figures (the three-queue example of Figure 5, the tandem of Figure 4 and
@@ -52,11 +62,13 @@ pub mod bounds;
 pub mod decomposition;
 pub mod exact;
 pub mod factored;
+pub mod fluid;
 pub mod metrics;
 pub mod mva;
 pub mod network;
 pub mod random_models;
 pub mod service;
+pub mod solve;
 pub mod statespace;
 pub mod templates;
 
@@ -66,9 +78,14 @@ pub use bounds::{
 };
 pub use exact::{solve_exact, ExactOptions, GeneratorRepresentation};
 pub use factored::FactoredGenerator;
+pub use fluid::{solve_fluid, solve_fluid_with, FluidOptions, FluidSolution};
 pub use metrics::NetworkMetrics;
 pub use network::{ClosedNetwork, Station, StationKind};
 pub use service::Service;
+pub use solve::{
+    fluid_error_estimate, solve, solve_with, Accuracy, Engine, EngineAttempt, Solution,
+    SolveOptions, FLUID_BAND_FLOOR, FLUID_BAND_REFERENCE_POPULATION, FLUID_MQL_BAND,
+};
 
 /// Error type for network construction and solution.
 #[derive(Debug, Clone, PartialEq)]

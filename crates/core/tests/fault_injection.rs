@@ -11,7 +11,9 @@
 
 use mapqn_core::bounds::{BoundOptions, NetworkBounds, Quality, Rung};
 use mapqn_core::templates::figure5_network;
-use mapqn_core::{CoreError, EnsembleRunner, MarginalBoundSolver, Scenario};
+use mapqn_core::{
+    solve, solve_fluid, Accuracy, CoreError, Engine, EnsembleRunner, MarginalBoundSolver, Scenario,
+};
 use mapqn_faults::FaultSite;
 use mapqn_linalg::SolveBudget;
 use std::time::Duration;
@@ -103,6 +105,65 @@ fn env_selected_fault_keeps_ensembles_partial() {
             }
         }
     }
+}
+
+/// Whatever the CI leg armed, the population-aware `solve()` front door
+/// answers on a fluid-only plan (a population far past every exact cap).
+/// No engine on that plan is budget-gated, so even the `budget-expiry` leg
+/// leaves it standing; the `fluid-nonconvergence` leg pushes it one rung
+/// down to the algebraic floor — still an answer, tagged asymptotic.
+#[test]
+fn env_selected_fault_keeps_the_solve_front_door_answering() {
+    let _guard = mapqn_faults::exclusive();
+    let network = figure5_network(4, 4.0, 0.5).unwrap();
+    let answer = solve(
+        &network,
+        1_000_000,
+        Accuracy::Target(0.01),
+        SolveBudget::unlimited(),
+    )
+    .expect("the population-aware front door must answer under any armed fault");
+    assert!(answer.metrics.system_throughput > 0.0);
+    match answer.engine {
+        // The fluid tier conserves the population exactly; the floor only
+        // quotes interval midpoints, so it certifies bounds instead.
+        Engine::Fluid => {
+            let total: f64 = answer.metrics.mean_queue_length.iter().sum();
+            assert!((total - 1e6).abs() <= 1e-3);
+        }
+        Engine::AsymptoticFloor => assert!(answer.bounds.is_some()),
+        other => panic!("unexpected engine on a fluid-only plan: {other:?}"),
+    }
+    if mapqn_faults::current().is_none() {
+        assert_eq!(answer.engine, Engine::Fluid);
+        assert!(answer.accuracy_met);
+    }
+}
+
+/// Injected fluid non-convergence surfaces from the raw engine as the real
+/// non-convergence error shape, and the router walks past it: the plan's
+/// floor rung answers with interval metadata instead of erroring.
+#[test]
+fn fluid_nonconvergence_is_degraded_past_by_the_router() {
+    let _guard = mapqn_faults::arm(FaultSite::FluidFixedPoint, 0, u64::MAX);
+    let network = figure5_network(4, 4.0, 0.5).unwrap();
+    let raw = solve_fluid(&network).unwrap_err();
+    assert!(matches!(
+        raw,
+        CoreError::Markov(mapqn_markov::MarkovError::NoConvergence { .. })
+    ));
+
+    let answer = solve(
+        &network,
+        1_000_000,
+        Accuracy::Target(0.01),
+        SolveBudget::unlimited(),
+    )
+    .unwrap();
+    assert_eq!(answer.engine, Engine::AsymptoticFloor);
+    assert!(!answer.accuracy_met);
+    assert!(answer.bounds.is_some());
+    assert!(answer.attempts.iter().any(|a| a.engine == Engine::Fluid && a.error.is_some()));
 }
 
 /// Permanent LP iteration exhaustion (revised engine *and* dense oracle)

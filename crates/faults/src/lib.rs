@@ -9,8 +9,9 @@
 //! them makes the ladder untestable. This crate plants **hooks** at the
 //! interesting failure sites — LP pivot-loop exhaustion, basis-factorization
 //! breakdown, Gauss–Seidel divergence, budget expiry, a failing ensemble
-//! scenario — and lets a test (or a CI matrix leg) force exactly one of
-//! them, deterministically, without touching the solver code.
+//! scenario, fluid fixed-point non-convergence — and lets a test (or a CI
+//! matrix leg) force exactly one of them, deterministically, without
+//! touching the solver code.
 //!
 //! ## Selecting a fault
 //!
@@ -60,16 +61,20 @@ pub enum FaultSite {
     /// An ensemble scenario fails outright; keyed by **job index**
     /// (`ensemble-scenario`).
     EnsembleScenario,
+    /// The mean-field (fluid) engine abandons its damped fixed-point
+    /// iteration as non-convergent (`fluid-nonconvergence`).
+    FluidFixedPoint,
 }
 
 impl FaultSite {
     /// Every site, for enumeration in tests and CI matrix generation.
-    pub const ALL: [FaultSite; 5] = [
+    pub const ALL: [FaultSite; 6] = [
         FaultSite::LpIterations,
         FaultSite::LpFactorization,
         FaultSite::GsDivergence,
         FaultSite::BudgetExpiry,
         FaultSite::EnsembleScenario,
+        FaultSite::FluidFixedPoint,
     ];
 
     /// The `MAPQN_FAULT` token naming this site.
@@ -81,6 +86,7 @@ impl FaultSite {
             FaultSite::GsDivergence => "gs-divergence",
             FaultSite::BudgetExpiry => "budget-expiry",
             FaultSite::EnsembleScenario => "ensemble-scenario",
+            FaultSite::FluidFixedPoint => "fluid-nonconvergence",
         }
     }
 
@@ -98,6 +104,7 @@ impl FaultSite {
             FaultSite::GsDivergence => 2,
             FaultSite::BudgetExpiry => 3,
             FaultSite::EnsembleScenario => 4,
+            FaultSite::FluidFixedPoint => 5,
         }
     }
 }
@@ -152,7 +159,8 @@ static OVERRIDE: Mutex<Option<FaultSpec>> = Mutex::new(None);
 
 /// Per-site occurrence counters for [`fire`]. Reset whenever a guard arms
 /// or disarms, so each armed window counts occurrences from zero.
-static COUNTERS: [AtomicU64; 5] = [
+static COUNTERS: [AtomicU64; 6] = [
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),

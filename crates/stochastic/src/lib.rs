@@ -53,7 +53,7 @@ pub use builders::{
     erlang_map, exponential_map, hyperexp2_balanced, hyperexp_map, map2_correlated, mmpp2,
 };
 pub use fit::{fit_map2, Map2FitSpec};
-pub use map::Map;
+pub use map::{Map, PhaseMix};
 pub use ph::PhaseType;
 pub use random::{random_map2, RandomMap2Spec};
 pub use sampler::{MapSampler, PhSampler};

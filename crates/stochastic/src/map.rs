@@ -155,6 +155,36 @@ impl Map {
         Ok(theta.dot(&self.d1.row_sums())?)
     }
 
+    /// The stationary phase mix of the MAP, bundled for the mean-field
+    /// (fluid) engine: the phase distribution `theta`, the per-phase
+    /// completion rates (row sums of `D1`) and their mix
+    /// `effective_rate = theta D1 1`.
+    ///
+    /// The effective rate is exactly the fundamental rate [`Map::rate`]
+    /// (equivalently `1 / mean`): a station whose server is always busy
+    /// completes jobs at this long-run rate once its phase process has
+    /// mixed. The fluid engine collapses each MAP-fed station to this one
+    /// number, which is what makes its per-iteration cost `O(M · phases)`
+    /// and independent of the population.
+    ///
+    /// # Errors
+    /// Propagates failures of the stationary solve.
+    pub fn phase_mix(&self) -> Result<PhaseMix> {
+        let theta = self.phase_stationary()?;
+        let completion_rates = self.completion_rates();
+        let effective_rate = theta.dot(&completion_rates)?;
+        if !(effective_rate.is_finite() && effective_rate > 0.0) {
+            return Err(StochasticError::InvalidMap(format!(
+                "stationary phase mix yields a non-positive effective rate {effective_rate}"
+            )));
+        }
+        Ok(PhaseMix {
+            theta,
+            completion_rates,
+            effective_rate,
+        })
+    }
+
     /// Embedded transition matrix at event epochs: `P = (-D0)^{-1} D1`.
     ///
     /// # Errors
@@ -355,6 +385,21 @@ impl Map {
     }
 }
 
+/// The stationary phase mix of a MAP, as produced by [`Map::phase_mix`]:
+/// everything the mean-field engine needs to collapse a MAP-fed station to
+/// a single drift equation.
+#[derive(Debug, Clone)]
+pub struct PhaseMix {
+    /// Stationary distribution of the phase process (`theta D = 0`,
+    /// `theta 1 = 1`).
+    pub theta: DVector,
+    /// Per-phase completion rates (row sums of `D1`).
+    pub completion_rates: DVector,
+    /// Mixed long-run completion rate `theta D1 1` — the fundamental rate,
+    /// equal to `1 / mean`.
+    pub effective_rate: f64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -415,6 +460,18 @@ mod tests {
         let theta = m.phase_stationary().unwrap();
         assert!(approx_eq(theta.sum(), 1.0, 1e-10));
         assert!(theta.is_nonnegative(1e-12));
+    }
+
+    #[test]
+    fn phase_mix_matches_fundamental_rate_and_mean() {
+        for m in [poisson(3.0), correlated_map2()] {
+            let mix = m.phase_mix().unwrap();
+            assert_eq!(mix.theta.len(), m.phases());
+            assert_eq!(mix.completion_rates.len(), m.phases());
+            assert!(approx_eq(mix.theta.sum(), 1.0, 1e-10));
+            assert!(approx_eq(mix.effective_rate, m.rate().unwrap(), 1e-12));
+            assert!(approx_eq(mix.effective_rate, 1.0 / m.mean().unwrap(), 1e-9));
+        }
     }
 
     #[test]

@@ -42,6 +42,27 @@
 //! let bounds = MarginalBoundSolver::new(&network).unwrap().bound_all().unwrap();
 //! assert!(bounds.system_throughput.contains(exact.system_throughput, 1e-6));
 //! ```
+//!
+//! ## Population-aware front door
+//!
+//! [`core::solve()`](mapqn_core::solve()) picks the engine for you as a function of
+//! `(network, N, accuracy)`: exact engines while the state space is
+//! feasible, the `O(1)`-in-`N` fluid mean-field tier beyond them, always
+//! answering with quality-tagged provenance and a measured error band.
+//!
+//! ```
+//! use mapqn::core::templates::{tpcw_network, TpcwParameters};
+//! use mapqn::core::{solve, Accuracy, Engine, Quality};
+//! use mapqn::linalg::SolveBudget;
+//!
+//! let network = tpcw_network(&TpcwParameters::default()).unwrap();
+//! // One million browsers: far past every exact engine, microseconds by fluid.
+//! let answer =
+//!     solve(&network, 1_000_000, Accuracy::Target(0.01), SolveBudget::unlimited()).unwrap();
+//! assert_eq!(answer.engine, Engine::Fluid);
+//! assert_eq!(answer.quality, Quality::Asymptotic);
+//! assert!(answer.accuracy_met && answer.error_estimate <= 0.01);
+//! ```
 
 
 /// Re-export of [`mapqn_core`]: the network model, exact solver and bounds.
