@@ -151,11 +151,19 @@ pub struct ScenarioFailure {
     pub job: usize,
     /// What went wrong.
     pub error: CoreError,
+    /// Wall clock the scenario consumed before failing — a scenario that
+    /// dies instantly (bad model) and one that burns its whole budget first
+    /// need different fixes, and the report should tell them apart.
+    pub elapsed: std::time::Duration,
 }
 
 impl std::fmt::Display for ScenarioFailure {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "scenario '{}' (job {}) failed: {}", self.label, self.job, self.error)
+        write!(
+            f,
+            "scenario '{}' (job {}) failed after {:.2?}: {}",
+            self.label, self.job, self.elapsed, self.error
+        )
     }
 }
 
@@ -301,12 +309,14 @@ impl EnsembleRunner {
         // One pool for the whole batch: `WorkPool::map` clamps the width
         // to the job count and runs the batch as a single round of a
         // scoped (spawn-once) pool — the right shape for coarse jobs.
-        let raw: Vec<Result<ScenarioResult>> = self
-            .pool
-            .map(scenarios, |job, scenario| self.run_one(job, scenario));
+        let raw: Vec<(Result<ScenarioResult>, std::time::Duration)> =
+            self.pool.map(scenarios, |job, scenario| {
+                let t = mapqn_linalg::budget::now();
+                (self.run_one(job, scenario), t.elapsed())
+            });
         let mut outcomes = Vec::with_capacity(raw.len());
         let mut stats = EnsembleStats::default();
-        for (job, outcome) in raw.into_iter().enumerate() {
+        for (job, (outcome, elapsed)) in raw.into_iter().enumerate() {
             match outcome {
                 Ok(result) => {
                     stats.absorb(result.sweep_stats);
@@ -316,6 +326,7 @@ impl EnsembleRunner {
                     label: scenarios[job].label.clone(),
                     job,
                     error,
+                    elapsed,
                 })),
             }
         }

@@ -1134,6 +1134,21 @@ impl MarginalBoundSolver {
         self.context.solve_outcomes.clone()
     }
 
+    /// True-rhs integrity recheck of a stored basis against this solver's
+    /// constraint set: factorizability plus primal feasibility of the basic
+    /// solution at the **unperturbed** right-hand side, within `tol`. The
+    /// planning-session cache runs this on every hit before trusting a
+    /// cached basis as a witness for memoized bounds; a basis that fails is
+    /// quarantined rather than retried.
+    ///
+    /// # Errors
+    /// Propagates LP-construction failures; the verification verdict itself
+    /// is returned in the [`mapqn_lp::BasisVerification`], never as an error.
+    pub fn verify_basis(&self, basis: &Basis, tol: f64) -> Result<mapqn_lp::BasisVerification> {
+        let engine = RevisedSimplex::new(&self.base).map_err(CoreError::Lp)?;
+        Ok(engine.verify_basis(basis, tol))
+    }
+
     /// Translates one basis of this solver into the variable numbering of
     /// `target` (the same network at a different population), preserving the
     /// *whole* vertex, not just its structural part:

@@ -103,17 +103,37 @@ impl std::fmt::Display for Quality {
     }
 }
 
-/// One rung of the degradation ladder.
+/// One rung of the degradation ladder (the per-solve ladder here, plus the
+/// session-level rungs [`crate::planning::PlanningSession`] adds on top).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Rung {
     /// The ordinary certified solve.
     Direct,
     /// Fresh solver under a re-drawn perturbation salt.
     Salted,
+    /// Fresh solver under a tightened pivot tolerance (session ladder: a
+    /// drifting solve is often rescued by a stricter feasibility test).
+    Tightened,
     /// Self-seeded doubling-population bootstrap.
     Bootstrap,
+    /// Mean-field fluid engine standing in for the LP (session ladder).
+    Fluid,
     /// Algebraic asymptotic floor.
     Floor,
+}
+
+impl std::fmt::Display for Rung {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Rung::Direct => "direct",
+            Rung::Salted => "salted",
+            Rung::Tightened => "tightened",
+            Rung::Bootstrap => "bootstrap",
+            Rung::Fluid => "fluid",
+            Rung::Floor => "floor",
+        };
+        write!(f, "{name}")
+    }
 }
 
 /// The record of one ladder attempt: what was tried, at which population,
@@ -154,6 +174,28 @@ impl SolveDiagnostics {
     #[must_use]
     pub fn degraded(&self) -> bool {
         self.attempts.iter().any(|a| a.rung != Rung::Direct)
+    }
+}
+
+/// Compact single-line log form, e.g.
+/// `consumed=1.24ms attempts=[direct@N=50 err 0.80ms; salted@N=50 ok 0.44ms]`
+/// (an undegraded solve renders as `consumed=… attempts=[]`) — the form
+/// session logs and `ScenarioFailure` reports are grepped by.
+impl std::fmt::Display for SolveDiagnostics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "consumed={:.2?} attempts=[", self.consumed)?;
+        for (i, a) in self.attempts.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            let outcome = if a.error.is_some() { "err" } else { "ok" };
+            write!(
+                f,
+                "{}@N={} {} {:.2?}",
+                a.rung, a.population, outcome, a.elapsed
+            )?;
+        }
+        write!(f, "]")
     }
 }
 
@@ -402,6 +444,28 @@ mod tests {
         assert_eq!(Quality::Certified.to_string(), "certified");
         assert_eq!(Quality::SelfSeeded.to_string(), "self-seeded");
         assert_eq!(Quality::Asymptotic.to_string(), "asymptotic");
+    }
+
+    #[test]
+    fn diagnostics_display_is_one_greppable_line() {
+        let mut diag = SolveDiagnostics::default();
+        assert_eq!(diag.to_string(), "consumed=0.00ns attempts=[]");
+        diag.attempts.push(LadderAttempt {
+            rung: Rung::Direct,
+            population: 50,
+            error: Some(CoreError::BoundLpFailed("x".into())),
+            elapsed: Duration::from_millis(3),
+        });
+        diag.attempts.push(LadderAttempt {
+            rung: Rung::Salted,
+            population: 50,
+            error: None,
+            elapsed: Duration::from_millis(1),
+        });
+        let line = diag.to_string();
+        assert!(!line.contains('\n'));
+        assert!(line.contains("direct@N=50 err"), "{line}");
+        assert!(line.contains("salted@N=50 ok"), "{line}");
     }
 
     #[test]

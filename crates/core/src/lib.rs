@@ -66,6 +66,7 @@ pub mod fluid;
 pub mod metrics;
 pub mod mva;
 pub mod network;
+pub mod planning;
 pub mod random_models;
 pub mod service;
 pub mod solve;
@@ -73,14 +74,18 @@ pub mod statespace;
 pub mod templates;
 
 pub use bounds::{
-    BoundInterval, EnsembleRunner, MarginalBoundSolver, PerformanceIndex, PopulationSweep,
-    Quality, Scenario, SolveDiagnostics,
+    BoundInterval, EnsembleRunner, MarginalBoundSolver, NetworkBounds, PerformanceIndex,
+    PopulationSweep, Quality, Scenario, SolveDiagnostics,
 };
 pub use exact::{solve_exact, ExactOptions, GeneratorRepresentation};
 pub use factored::FactoredGenerator;
 pub use fluid::{solve_fluid, solve_fluid_with, FluidOptions, FluidSolution};
 pub use metrics::NetworkMetrics;
 pub use network::{ClosedNetwork, Station, StationKind};
+pub use planning::{
+    AnswerSource, PlanningAnswer, PlanningRequest, PlanningSession, SessionOptions, SessionStats,
+    WhatIf,
+};
 pub use service::Service;
 pub use solve::{
     fluid_error_estimate, solve, solve_with, Accuracy, Engine, EngineAttempt, Solution,
@@ -132,6 +137,11 @@ pub enum CoreError {
         /// Name of the fault site that fired.
         site: &'static str,
     },
+    /// A solver job panicked and was contained by the per-request isolation
+    /// boundary of the planning session (the panic message is preserved;
+    /// the request was answered by a degraded rung instead of aborting the
+    /// process).
+    Panicked(String),
 }
 
 impl std::fmt::Display for CoreError {
@@ -156,6 +166,9 @@ impl std::fmt::Display for CoreError {
             }
             CoreError::Injected { site } => {
                 write!(f, "injected fault at site '{site}'")
+            }
+            CoreError::Panicked(msg) => {
+                write!(f, "contained solver panic: {msg}")
             }
         }
     }

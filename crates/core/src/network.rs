@@ -122,10 +122,34 @@ impl ClosedNetwork {
                 routing.ncols()
             )));
         }
-        if !routing.is_stochastic(1e-8) {
-            return Err(CoreError::InvalidNetwork(
-                "routing matrix must be stochastic (non-negative rows summing to one)".into(),
-            ));
+        // Row-by-row audit instead of a bare `is_stochastic` so a bad model
+        // is rejected *here*, naming the offending row and value, rather
+        // than failing deep inside the LP/CTMC engines (and so NaN — which
+        // every `<`/`>` comparison silently waves through — is caught).
+        for i in 0..m {
+            let mut row_sum = 0.0;
+            for j in 0..m {
+                let p = routing[(i, j)];
+                if !p.is_finite() {
+                    return Err(CoreError::InvalidNetwork(format!(
+                        "routing probability [{i}][{j}] (from '{}') is {p}, not a finite number",
+                        stations[i].name
+                    )));
+                }
+                if p < -1e-8 {
+                    return Err(CoreError::InvalidNetwork(format!(
+                        "routing probability [{i}][{j}] (from '{}') is negative: {p}",
+                        stations[i].name
+                    )));
+                }
+                row_sum += p;
+            }
+            if (row_sum - 1.0).abs() > 1e-8 {
+                return Err(CoreError::InvalidNetwork(format!(
+                    "routing row {i} (from '{}') sums to {row_sum}, not 1",
+                    stations[i].name
+                )));
+            }
         }
         for s in &stations {
             if s.kind == StationKind::Delay && !s.service.is_exponential() {
@@ -384,6 +408,34 @@ mod tests {
             1
         )
         .is_err());
+    }
+
+    #[test]
+    fn nan_and_inf_routing_is_rejected_by_name() {
+        let stations = || {
+            vec![
+                Station::queue("cpu", Service::exponential(1.0).unwrap()),
+                Station::queue("disk", Service::exponential(1.0).unwrap()),
+            ]
+        };
+        // NaN slips through every `<`/`>` comparison; the constructor must
+        // still reject it, naming the offending entry and station.
+        let nan = DMatrix::from_row_slice(2, 2, &[0.0, 1.0, f64::NAN, f64::NAN]);
+        let err = ClosedNetwork::new(stations(), nan, 1).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("NaN") && msg.contains("disk"), "{msg}");
+
+        let inf = DMatrix::from_row_slice(2, 2, &[0.0, f64::INFINITY, 1.0, 0.0]);
+        let err = ClosedNetwork::new(stations(), inf, 1).unwrap_err();
+        assert!(err.to_string().contains("finite"), "{err}");
+
+        let negative = DMatrix::from_row_slice(2, 2, &[1.5, -0.5, 1.0, 0.0]);
+        let err = ClosedNetwork::new(stations(), negative, 1).unwrap_err();
+        assert!(err.to_string().contains("negative"), "{err}");
+
+        let short = DMatrix::from_row_slice(2, 2, &[0.0, 0.9, 1.0, 0.0]);
+        let err = ClosedNetwork::new(stations(), short, 1).unwrap_err();
+        assert!(err.to_string().contains("sums to"), "{err}");
     }
 
     #[test]

@@ -377,8 +377,9 @@ fn meets(accuracy: Accuracy, engine: Engine, quality: Quality, error_estimate: f
 }
 
 /// Largest relative half-width over the system-level indices — the quoted
-/// error of an interval answer.
-fn interval_error(bounds: &NetworkBounds) -> f64 {
+/// error of an interval answer. Shared with the planning session, which
+/// quotes the same figure for its certified answers.
+pub(crate) fn interval_error(bounds: &NetworkBounds) -> f64 {
     let rel = |interval: &BoundInterval| {
         let mid = interval.midpoint().abs();
         if mid > f64::MIN_POSITIVE {
@@ -390,8 +391,9 @@ fn interval_error(bounds: &NetworkBounds) -> f64 {
     rel(&bounds.system_throughput).max(rel(&bounds.system_response_time))
 }
 
-/// Point metrics from interval midpoints (LP bounds and the floor).
-fn midpoint_metrics(net: &ClosedNetwork, bounds: &NetworkBounds) -> NetworkMetrics {
+/// Point metrics from interval midpoints (LP bounds and the floor). Shared
+/// with the planning session's answer assembly.
+pub(crate) fn midpoint_metrics(net: &ClosedNetwork, bounds: &NetworkBounds) -> NetworkMetrics {
     let m = bounds.throughput.len();
     let mut throughput = Vec::with_capacity(m);
     let mut utilization = Vec::with_capacity(m);

@@ -12,7 +12,8 @@
 use mapqn_core::bounds::{BoundOptions, NetworkBounds, Quality, Rung};
 use mapqn_core::templates::figure5_network;
 use mapqn_core::{
-    solve, solve_fluid, Accuracy, CoreError, Engine, EnsembleRunner, MarginalBoundSolver, Scenario,
+    solve, solve_fluid, Accuracy, AnswerSource, CoreError, Engine, EnsembleRunner,
+    MarginalBoundSolver, PlanningRequest, PlanningSession, Scenario, WhatIf,
 };
 use mapqn_faults::FaultSite;
 use mapqn_linalg::SolveBudget;
@@ -267,6 +268,75 @@ fn injected_scenario_failure_leaves_neighbours_bitwise_identical() {
             }
         }
     }
+}
+
+/// Whatever the CI leg armed — including the session-level sites
+/// `cache-poison`, `request-timeout` and `session-breaker` — a planning
+/// session answers every request of a batch with valid, quality-tagged
+/// answers and never aborts.
+#[test]
+fn env_selected_fault_keeps_planning_sessions_answering() {
+    let _guard = mapqn_faults::exclusive();
+    let mut session = PlanningSession::new(figure5_network(3, 4.0, 0.5).unwrap());
+    let requests: Vec<PlanningRequest> = (2..=5)
+        .map(|n| PlanningRequest::new(format!("N={n}"), vec![WhatIf::Population(n)]))
+        .collect();
+    // Two rounds, so cache-hit consultations exist for `cache-poison` to
+    // target under its leg.
+    for _ in 0..2 {
+        for answer in session.run_batch(&requests) {
+            let answer = answer.expect("sessions must answer under any armed fault");
+            assert!(answer.is_valid(), "invalid answer for '{}'", answer.label);
+        }
+    }
+    if mapqn_faults::current().is_none() {
+        assert_eq!(session.stats().certified_answers, 8);
+        assert_eq!(session.stats().cache_hits, 4);
+        assert_eq!(session.stats().quarantines, 0);
+    }
+}
+
+/// A permanently armed `request-timeout` expires every request's certified
+/// budget at admission: every answer degrades to the fluid rung, valid and
+/// tagged, with the injected fault recorded in the diagnostics.
+#[test]
+fn permanent_request_timeout_degrades_every_request_to_fluid() {
+    let _guard = mapqn_faults::arm(FaultSite::RequestTimeout, 0, u64::MAX);
+    let mut session = PlanningSession::new(figure5_network(4, 4.0, 0.5).unwrap());
+    let answer = session
+        .ask(&PlanningRequest::new("timed-out", vec![]))
+        .unwrap();
+    assert!(answer.is_valid());
+    assert_eq!(answer.bounds.quality, Quality::Asymptotic);
+    assert_eq!(answer.rung, Rung::Fluid);
+    assert!(answer.bounds.diagnostics.attempts.iter().any(|a| matches!(
+        a.error,
+        Some(CoreError::Injected {
+            site: "request-timeout"
+        })
+    )));
+}
+
+/// A one-shot `session-breaker` forces exactly one request onto the
+/// degraded rung without moving the real breaker state machine: the next
+/// request runs the full certified ladder again.
+#[test]
+fn one_shot_session_breaker_is_contained_to_its_request() {
+    let mut session = PlanningSession::new(figure5_network(4, 4.0, 0.5).unwrap());
+    let request = PlanningRequest::new("r", vec![]);
+    let forced = {
+        let _guard = mapqn_faults::arm(FaultSite::SessionBreaker, 0, 1);
+        session.ask(&request).unwrap()
+    };
+    assert_eq!(forced.source, AnswerSource::BreakerOpen);
+    assert_eq!(forced.bounds.quality, Quality::Asymptotic);
+    let after = {
+        let _guard = quiet();
+        session.ask(&request).unwrap()
+    };
+    assert_ne!(after.source, AnswerSource::BreakerOpen);
+    assert_eq!(after.bounds.quality, Quality::Certified);
+    assert_eq!(session.stats().breaker_trips, 0);
 }
 
 /// The all-or-nothing `run` front door names the failing scenario: label

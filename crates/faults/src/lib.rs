@@ -9,9 +9,10 @@
 //! them makes the ladder untestable. This crate plants **hooks** at the
 //! interesting failure sites — LP pivot-loop exhaustion, basis-factorization
 //! breakdown, Gauss–Seidel divergence, budget expiry, a failing ensemble
-//! scenario, fluid fixed-point non-convergence — and lets a test (or a CI
-//! matrix leg) force exactly one of them, deterministically, without
-//! touching the solver code.
+//! scenario, fluid fixed-point non-convergence, and the planning-session
+//! sites (cache poisoning, request-deadline expiry, a forced-open circuit
+//! breaker) — and lets a test (or a CI matrix leg) force exactly one of
+//! them, deterministically, without touching the solver code.
 //!
 //! ## Selecting a fault
 //!
@@ -64,17 +65,32 @@ pub enum FaultSite {
     /// The mean-field (fluid) engine abandons its damped fixed-point
     /// iteration as non-convergent (`fluid-nonconvergence`).
     FluidFixedPoint,
+    /// A planning-session cache entry is corrupted before its integrity
+    /// recheck, forcing the quarantine path; keyed by **cache-admission
+    /// ordinal** within the session (`cache-poison`).
+    CachePoison,
+    /// A planning-session request's certified budget is treated as already
+    /// expired at admission, forcing the degraded rungs; keyed by
+    /// **request ordinal** (`request-timeout`).
+    RequestTimeout,
+    /// A planning-session circuit breaker is forced open for a request,
+    /// routing it straight to the fluid/asymptotic rung; keyed by
+    /// **request ordinal** (`session-breaker`).
+    SessionBreaker,
 }
 
 impl FaultSite {
     /// Every site, for enumeration in tests and CI matrix generation.
-    pub const ALL: [FaultSite; 6] = [
+    pub const ALL: [FaultSite; 9] = [
         FaultSite::LpIterations,
         FaultSite::LpFactorization,
         FaultSite::GsDivergence,
         FaultSite::BudgetExpiry,
         FaultSite::EnsembleScenario,
         FaultSite::FluidFixedPoint,
+        FaultSite::CachePoison,
+        FaultSite::RequestTimeout,
+        FaultSite::SessionBreaker,
     ];
 
     /// The `MAPQN_FAULT` token naming this site.
@@ -87,6 +103,9 @@ impl FaultSite {
             FaultSite::BudgetExpiry => "budget-expiry",
             FaultSite::EnsembleScenario => "ensemble-scenario",
             FaultSite::FluidFixedPoint => "fluid-nonconvergence",
+            FaultSite::CachePoison => "cache-poison",
+            FaultSite::RequestTimeout => "request-timeout",
+            FaultSite::SessionBreaker => "session-breaker",
         }
     }
 
@@ -105,6 +124,9 @@ impl FaultSite {
             FaultSite::BudgetExpiry => 3,
             FaultSite::EnsembleScenario => 4,
             FaultSite::FluidFixedPoint => 5,
+            FaultSite::CachePoison => 6,
+            FaultSite::RequestTimeout => 7,
+            FaultSite::SessionBreaker => 8,
         }
     }
 }
@@ -128,25 +150,71 @@ impl FaultSpec {
     }
 
     /// Parses the `MAPQN_FAULT` selector `<site>:<seed>[:<count>]`
-    /// (`count` accepts `all`). Returns `None` for malformed selectors —
-    /// the harness treats those as "nothing armed" rather than panicking
-    /// inside a numeric hot loop.
+    /// (`count` accepts `all`). Returns `None` for malformed selectors;
+    /// [`FaultSpec::parse_checked`] reports *which* token was bad.
     #[must_use]
     pub fn parse(selector: &str) -> Option<FaultSpec> {
+        FaultSpec::parse_checked(selector).ok()
+    }
+
+    /// Parses the `MAPQN_FAULT` selector `<site>:<seed>[:<count>]`
+    /// (`count` accepts `all`), naming the offending token on failure so a
+    /// typo'd CI matrix leg dies loudly instead of silently disarming.
+    pub fn parse_checked(selector: &str) -> std::result::Result<FaultSpec, ParseFaultError> {
+        let bad = |token: &str, expected: &'static str| ParseFaultError {
+            selector: selector.to_string(),
+            token: token.to_string(),
+            expected,
+        };
         let mut parts = selector.split(':');
-        let site = FaultSite::parse(parts.next()?)?;
-        let seed = parts.next()?.trim().parse::<u64>().ok()?;
+        let site_token = parts.next().unwrap_or_default();
+        let site = FaultSite::parse(site_token)
+            .ok_or_else(|| bad(site_token, "a fault-site name (e.g. `lp-iterations`)"))?;
+        let seed_token = parts
+            .next()
+            .ok_or_else(|| bad(selector, "`<site>:<seed>[:<count>]`"))?;
+        let seed = seed_token
+            .trim()
+            .parse::<u64>()
+            .map_err(|_| bad(seed_token, "an unsigned integer seed"))?;
         let count = match parts.next() {
             None => 1,
             Some("all") => u64::MAX,
-            Some(raw) => raw.trim().parse::<u64>().ok()?,
+            Some(raw) => raw
+                .trim()
+                .parse::<u64>()
+                .map_err(|_| bad(raw, "an unsigned integer count or `all`"))?,
         };
-        if parts.next().is_some() {
-            return None;
+        if let Some(extra) = parts.next() {
+            return Err(bad(extra, "no further `:`-separated fields"));
         }
-        Some(FaultSpec { site, seed, count })
+        Ok(FaultSpec { site, seed, count })
     }
 }
+
+/// A malformed `MAPQN_FAULT` selector, carrying the exact token that failed
+/// to parse and what was expected in its place.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFaultError {
+    /// The full selector string as supplied.
+    pub selector: String,
+    /// The token within the selector that failed to parse.
+    pub token: String,
+    /// What the parser expected the token to be.
+    pub expected: &'static str,
+}
+
+impl std::fmt::Display for ParseFaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "malformed MAPQN_FAULT selector {:?}: bad token {:?}, expected {}",
+            self.selector, self.token, self.expected
+        )
+    }
+}
+
+impl std::error::Error for ParseFaultError {}
 
 /// Activation state, kept in one byte so the disabled fast path of
 /// [`fire`] is a single relaxed load: 0 = environment not yet consulted,
@@ -159,7 +227,10 @@ static OVERRIDE: Mutex<Option<FaultSpec>> = Mutex::new(None);
 
 /// Per-site occurrence counters for [`fire`]. Reset whenever a guard arms
 /// or disarms, so each armed window counts occurrences from zero.
-static COUNTERS: [AtomicU64; 6] = [
+static COUNTERS: [AtomicU64; 9] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
@@ -176,11 +247,13 @@ fn env_spec() -> Option<FaultSpec> {
     static ENV: OnceLock<Option<FaultSpec>> = OnceLock::new();
     *ENV.get_or_init(|| {
         let raw = std::env::var("MAPQN_FAULT").ok()?;
-        let spec = FaultSpec::parse(&raw);
-        if spec.is_none() {
-            eprintln!("mapqn-faults: ignoring malformed MAPQN_FAULT selector {raw:?}");
+        match FaultSpec::parse_checked(&raw) {
+            Ok(spec) => Some(spec),
+            // A malformed selector means the operator *intended* to arm a
+            // fault and a CI leg would otherwise run green while testing
+            // nothing — die loudly, naming the bad token.
+            Err(e) => panic!("mapqn-faults: {e}"),
         }
-        spec
     })
 }
 
@@ -345,10 +418,34 @@ mod tests {
             FaultSpec::parse("budget-expiry:2:5"),
             Some(FaultSpec { site: FaultSite::BudgetExpiry, seed: 2, count: 5 })
         );
+        assert_eq!(
+            FaultSpec::parse("cache-poison:1"),
+            Some(FaultSpec { site: FaultSite::CachePoison, seed: 1, count: 1 })
+        );
         assert_eq!(FaultSpec::parse("nonsense:0"), None);
         assert_eq!(FaultSpec::parse("lp-iterations"), None);
         assert_eq!(FaultSpec::parse("lp-iterations:x"), None);
         assert_eq!(FaultSpec::parse("lp-iterations:0:1:2"), None);
+    }
+
+    #[test]
+    fn checked_parse_names_the_bad_token() {
+        let err = FaultSpec::parse_checked("nonsense:0").unwrap_err();
+        assert_eq!(err.token, "nonsense");
+        assert!(err.to_string().contains("nonsense"));
+
+        let err = FaultSpec::parse_checked("lp-iterations:x").unwrap_err();
+        assert_eq!(err.token, "x");
+        assert!(err.to_string().contains("seed"));
+
+        let err = FaultSpec::parse_checked("lp-iterations:0:sometimes").unwrap_err();
+        assert_eq!(err.token, "sometimes");
+
+        let err = FaultSpec::parse_checked("lp-iterations:0:1:2").unwrap_err();
+        assert_eq!(err.token, "2");
+
+        let err = FaultSpec::parse_checked("session-breaker").unwrap_err();
+        assert!(err.to_string().contains("session-breaker"));
     }
 
     #[test]

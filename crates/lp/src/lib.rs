@@ -77,7 +77,7 @@ pub mod simplex;
 
 pub use dual::DualOutcome;
 pub use problem::{Constraint, ConstraintOp, LpProblem, Sense};
-pub use revised::{Basis, RevisedSimplex};
+pub use revised::{Basis, BasisVerification, RevisedSimplex};
 pub use simplex::{LpSolution, LpStatus, SimplexEngine, SimplexOptions};
 
 /// Error type for LP construction and solution.

@@ -134,6 +134,33 @@ impl Basis {
     }
 }
 
+/// Outcome of [`RevisedSimplex::verify_basis`]: whether a stored basis is
+/// still a faithful witness for the engine's constraint set, and how it
+/// failed if not.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BasisVerification {
+    /// Candidate columns that were rejected (out of range, duplicated, or
+    /// linearly dependent) and had to be repaired away. A pristine basis
+    /// has zero.
+    pub repaired_columns: usize,
+    /// Whether the (repaired) basis matrix admitted an LU factorization.
+    pub factorizable: bool,
+    /// Largest negative excursion of the basic values at the **true**
+    /// right-hand side beyond the verification tolerance, as a
+    /// non-negative magnitude (exactly 0 when feasible within tolerance).
+    pub infeasibility: f64,
+}
+
+impl BasisVerification {
+    /// `true` when the basis passed every check: no column needed repair,
+    /// the matrix factorized, and the basic solution at the true
+    /// right-hand side is feasible within `tol` of the verification call.
+    #[must_use]
+    pub fn is_intact(&self) -> bool {
+        self.repaired_columns == 0 && self.factorizable && self.infeasibility == 0.0
+    }
+}
+
 /// Outcome of a phase-1 run.
 enum Phase1Outcome {
     Feasible(Box<Work>),
@@ -317,6 +344,49 @@ impl RevisedSimplex {
     #[must_use]
     pub fn num_real_columns(&self) -> usize {
         self.total_real
+    }
+
+    /// Verifies that a stored [`Basis`] is still a faithful witness for
+    /// this engine's constraint set: every column valid and independent,
+    /// the basis matrix factorizable, and the basic solution at the
+    /// **true** (unperturbed) right-hand side primal-feasible within
+    /// `tol`. This is the integrity recheck the planning-session cache
+    /// runs on every hit before trusting a cached basis — a corrupted or
+    /// stale basis fails here instead of deep inside a pivot loop.
+    ///
+    /// Read-only: the engine's cached solve state is not touched, so a
+    /// verification never perturbs a later warm start.
+    #[must_use]
+    pub fn verify_basis(&self, basis: &Basis, tol: f64) -> BasisVerification {
+        let completed = complete_basis(self, basis.columns(), self.total_real);
+        // `complete_basis` keeps accepted candidates in order and appends
+        // artificial fill for uncovered rows, so any column of the result
+        // that was not proposed by the caller marks a repair.
+        let proposed: std::collections::HashSet<usize> =
+            basis.columns().iter().copied().collect();
+        let repaired_columns = completed
+            .iter()
+            .filter(|c| !proposed.contains(c))
+            .count()
+            + basis.columns().len().saturating_sub(
+                completed.iter().filter(|c| proposed.contains(c)).count(),
+            );
+        let Some(mut factor) = BasisFactor::factorize(self, &completed) else {
+            return BasisVerification {
+                repaired_columns,
+                factorizable: false,
+                infeasibility: f64::INFINITY,
+            };
+        };
+        let mut xb = self.b.clone();
+        factor.ftran(&mut xb);
+        let worst = xb.iter().fold(0.0f64, |acc, &v| acc.max(-v));
+        let infeasibility = if worst <= tol { 0.0 } else { worst };
+        BasisVerification {
+            repaired_columns,
+            factorizable: true,
+            infeasibility,
+        }
     }
 
     /// The deterministically perturbed right-hand side of this solve (see
@@ -1736,6 +1806,40 @@ mod tests {
             .unwrap();
         assert_eq!(min_sol.status, LpStatus::Optimal);
         assert_close(min_sol.objective, 0.0);
+    }
+
+    #[test]
+    fn verify_basis_accepts_solved_and_rejects_corrupted() {
+        let mut lp = LpProblem::new(2, Sense::Maximize);
+        lp.set_objective(&[(0, 3.0), (1, 2.0)]);
+        lp.add_le(&[(0, 1.0), (1, 1.0)], 4.0);
+        lp.add_le(&[(0, 1.0)], 2.0);
+        let mut engine = RevisedSimplex::new(&lp).unwrap();
+        let options = SimplexOptions::default();
+        let basis = engine
+            .find_feasible_basis(&options)
+            .unwrap()
+            .expect("feasible");
+        let (_, basis) = engine
+            .solve_from_basis(&[3.0, 2.0], Sense::Maximize, &basis, &options)
+            .unwrap();
+
+        let report = engine.verify_basis(&basis, 1e-7);
+        assert!(report.is_intact(), "{report:?}");
+
+        // Duplicate a column: the repair count must flag it.
+        let cols = basis.columns().to_vec();
+        let mut corrupted = cols.clone();
+        corrupted[0] = corrupted[cols.len() - 1];
+        let report = engine.verify_basis(&Basis::from_columns(corrupted), 1e-7);
+        assert!(!report.is_intact());
+        assert!(report.repaired_columns > 0);
+
+        // Out-of-range garbage likewise.
+        let mut garbage = cols;
+        garbage[0] = usize::MAX / 2;
+        let report = engine.verify_basis(&Basis::from_columns(garbage), 1e-7);
+        assert!(!report.is_intact());
     }
 
     #[test]

@@ -378,6 +378,51 @@ impl WorkPool {
         WorkPool::new(self.threads.min(items.len().max(1)))
             .scoped(|pool| pool.map(items, &f))
     }
+
+    /// One-shot convenience: [`WorkPool::scoped`] around a single
+    /// [`ScopedPool::map_isolated`] round. Unlike [`WorkPool::map`], a
+    /// panicking job is contained to its own slot instead of taking the
+    /// whole round down.
+    pub fn map_isolated<T, R, F>(&self, items: &[T], f: F) -> Vec<Result<R, JobPanic>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        WorkPool::new(self.threads.min(items.len().max(1)))
+            .scoped(|pool| pool.map_isolated(items, &f))
+    }
+}
+
+/// A job of [`ScopedPool::map_isolated`] panicked; carries the panic
+/// message (when the payload was a string) and the job index, so a batch
+/// layer can attribute the failure without re-running.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// Index of the panicking job in the submitted item slice.
+    pub job: usize,
+    /// The panic payload rendered to text (`&str`/`String` payloads
+    /// verbatim, anything else a placeholder).
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job {} panicked: {}", self.job, self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+/// Renders a caught panic payload to text for [`JobPanic::message`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// A live persistent pool: workers are already spawned and parked, and
@@ -572,6 +617,34 @@ impl ScopedPool<'_> {
                 r.expect("every job index below len was claimed exactly once")
             })
             .collect()
+    }
+
+    /// [`ScopedPool::map`] with **per-job panic isolation**: each job runs
+    /// under `catch_unwind`, so one panicking job yields an
+    /// `Err(`[`JobPanic`]`)` in its own slot while every other job's result
+    /// is returned intact and the round (and pool) completes normally.
+    ///
+    /// This is the containment boundary the planning session runs its
+    /// request batches on: a poisoned model or an injected fault in one
+    /// what-if request must not take down the neighbouring requests or the
+    /// persistent pool underneath them.
+    ///
+    /// The closure must be idempotent-safe to abandon mid-job (jobs hold no
+    /// locks shared with other jobs); this is the standard `catch_unwind`
+    /// contract and the reason the signature requires `F: Sync` but not
+    /// unwind safety — each job touches only its own item and result slot.
+    pub fn map_isolated<T, R, F>(&self, items: &[T], f: F) -> Vec<Result<R, JobPanic>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.map(items, |i, item| {
+            catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(|payload| JobPanic {
+                job: i,
+                message: panic_message(payload.as_ref()),
+            })
+        })
     }
 }
 
@@ -1004,5 +1077,44 @@ mod tests {
         let pool = WorkPool::new(4);
         let out = pool.map(&(0..31).collect::<Vec<usize>>(), |i, &x| i + x);
         assert_eq!(out, (0..31).map(|x| 2 * x).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn map_isolated_contains_panics_to_their_slot() {
+        let items: Vec<usize> = (0..17).collect();
+        for threads in [1, 4] {
+            let pool = WorkPool::new(threads);
+            let results = pool.map_isolated(&items, |_, &x| {
+                assert!(x != 5 && x != 11, "injected failure at {x}");
+                x * 2
+            });
+            assert_eq!(results.len(), items.len());
+            for (i, r) in results.iter().enumerate() {
+                if i == 5 || i == 11 {
+                    let e = r.as_ref().unwrap_err();
+                    assert_eq!(e.job, i);
+                    assert!(e.message.contains("injected failure"), "{e}");
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i * 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_isolated_keeps_the_persistent_pool_usable() {
+        // A panicking round must not wedge the scope: subsequent rounds on
+        // the same ScopedPool run normally.
+        WorkPool::new(4).scoped(|pool| {
+            let items: Vec<usize> = (0..8).collect();
+            let first = pool.map_isolated(&items, |_, &x| {
+                assert!(x != 0, "poisoned job");
+                x
+            });
+            assert!(first[0].is_err());
+            assert_eq!(first.iter().filter(|r| r.is_ok()).count(), 7);
+            let second = pool.map(&items, |_, &x| x + 1);
+            assert_eq!(second, (1..9).collect::<Vec<usize>>());
+        });
     }
 }

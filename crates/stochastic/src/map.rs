@@ -46,6 +46,26 @@ impl Map {
                 d1.ncols()
             )));
         }
+        // Explicit finiteness audit before the sign/row-sum checks: NaN
+        // compares false against every threshold below, so without this a
+        // NaN-laced MAP would validate and only blow up deep inside the
+        // LP/CTMC engines.
+        for i in 0..n {
+            for j in 0..n {
+                if !d0[(i, j)].is_finite() {
+                    return Err(StochasticError::InvalidMap(format!(
+                        "D0[{i},{j}] = {} is not a finite number",
+                        d0[(i, j)]
+                    )));
+                }
+                if !d1[(i, j)].is_finite() {
+                    return Err(StochasticError::InvalidMap(format!(
+                        "D1[{i},{j}] = {} is not a finite number",
+                        d1[(i, j)]
+                    )));
+                }
+            }
+        }
         for i in 0..n {
             if d0[(i, i)] >= 0.0 {
                 return Err(StochasticError::InvalidMap(format!(
@@ -433,6 +453,25 @@ mod tests {
             ],
         );
         Map::new(d0, d1).unwrap()
+    }
+
+    #[test]
+    fn nan_and_inf_rate_matrices_are_rejected() {
+        // NaN defeats the sign and row-sum comparisons (all false), so the
+        // constructor needs its explicit finiteness audit.
+        let err = Map::new(
+            DMatrix::from_row_slice(1, 1, &[f64::NAN]),
+            DMatrix::from_row_slice(1, 1, &[3.0]),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("NaN"), "{err}");
+
+        let err = Map::new(
+            DMatrix::from_row_slice(1, 1, &[-3.0]),
+            DMatrix::from_row_slice(1, 1, &[f64::INFINITY]),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("finite"), "{err}");
     }
 
     #[test]

@@ -18,9 +18,9 @@
 //!
 //! Run with `cargo run --release --example tpcw_capacity_planning`.
 
-use mapqn::core::bounds::PopulationSweep;
 use mapqn::core::mva::mva_exact;
 use mapqn::core::templates::{tpcw_network, tpcw_server_tier, TpcwParameters};
+use mapqn::core::{PlanningRequest, PlanningSession, WhatIf};
 use mapqn::sim::{simulate, CacheServerParameters, SimulationConfig};
 
 fn main() {
@@ -78,38 +78,72 @@ fn main() {
     println!("model's prediction by a wide margin — the capacity-planning trap the paper warns about.");
 
     // Hierarchical step: provable response-time bounds for the server tier
-    // as the multiprogramming level grows, via a dual-warm population
-    // sweep over the bursty (MAP) tier model. The front server uses the
-    // TPC-W ACF-model burstiness (SCV 16, decay 0.85 — Figure 3's fitted
-    // parameters).
+    // as the multiprogramming level grows, asked through a long-lived
+    // [`PlanningSession`] — the fault-tolerant front end a capacity-planning
+    // service keeps open over a stream of what-ifs. Every answer carries
+    // its quality tag and provenance (fresh solve, verified cache hit, or
+    // degraded rung). The front server uses the TPC-W ACF-model burstiness
+    // (SCV 16, decay 0.85 — Figure 3's fitted parameters).
     let params = TpcwParameters {
         front_mean: cache.mean_service_time(),
         ..TpcwParameters::default()
     };
     let tier = tpcw_server_tier(&params).expect("server-tier network");
-    let mut sweep = PopulationSweep::new(&tier).expect("server-tier sweep");
+    let mut session = PlanningSession::new(tier);
 
     println!();
     println!("Server-tier bounds (bursty front server, SCV = {}, ACF decay {}):", params.front_scv, params.front_acf_decay);
     println!(
-        "{:>10}  {:>12} {:>12}   {:>12} {:>12}",
-        "in-flight", "X lower", "X upper", "R lower (s)", "R upper (s)"
+        "{:>10}  {:>12} {:>12}   {:>12} {:>12}  {:>10}",
+        "in-flight", "X lower", "X upper", "R lower (s)", "R upper (s)", "provenance"
     );
     for level in 1..=12usize {
-        let bounds = sweep.bounds_at(level).expect("tier bounds");
+        let answer = session
+            .ask(&PlanningRequest::new(
+                format!("mpl={level}"),
+                vec![WhatIf::Population(level)],
+            ))
+            .expect("tier bounds");
+        let bounds = &answer.bounds;
         println!(
-            "{:>10}  {:>12.2} {:>12.2}   {:>12.5} {:>12.5}",
+            "{:>10}  {:>12.2} {:>12.2}   {:>12.5} {:>12.5}  {:>10}",
             level,
             bounds.system_throughput.lower,
             bounds.system_throughput.upper,
             bounds.system_response_time.lower,
-            bounds.system_response_time.upper
+            bounds.system_response_time.upper,
+            answer.source,
         );
     }
-    let stats = sweep.stats();
+
+    // The follow-up question every planner asks next: what if the database
+    // tier were 30% slower? Same session, one delta — and because the
+    // sweep's answers are cached, re-asking any level above is a verified
+    // warm hit.
+    let slowed = session
+        .ask(&PlanningRequest::new(
+            "db 30% slower at mpl=12",
+            vec![
+                WhatIf::Population(12),
+                WhatIf::ScaleDemand { station: 1, factor: 1.3 },
+            ],
+        ))
+        .expect("what-if bounds");
+    let replay = session
+        .ask(&PlanningRequest::new("mpl=12 again", vec![WhatIf::Population(12)]))
+        .expect("replayed bounds");
+    println!();
     println!(
-        "sweep warm starts: {} dual, {} repaired, {} dense fallbacks",
-        stats.dual_warm_objectives, stats.repair_warm_objectives, stats.dense_fallbacks
+        "what-if (db 30% slower, mpl=12): R in [{:.5}, {:.5}] s ({} answer, rung {})",
+        slowed.bounds.system_response_time.lower,
+        slowed.bounds.system_response_time.upper,
+        slowed.source,
+        slowed.rung,
+    );
+    let stats = session.stats();
+    println!(
+        "session: {} requests, {} cache hits (replay of mpl=12 was a {}), {} certified answers",
+        stats.requests, stats.cache_hits, replay.source, stats.certified_answers
     );
     println!();
     println!("The response-time bounds grow with the admitted concurrency — the provable version of");
